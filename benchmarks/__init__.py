@@ -1,0 +1,7 @@
+"""Benchmark harness: one module per table/figure of the paper.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the regenerated
+tables and figures; persistent copies land in ``benchmarks/results/``.
+Campaign length per cell is set by ``REPRO_BENCH_DURATION_S`` (default 120
+simulated seconds; 600 for publication-quality tails).
+"""

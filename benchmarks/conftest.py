@@ -1,0 +1,58 @@
+"""Shared benchmark fixtures.
+
+The paper's tables and figures all derive from the same measurement
+campaigns, so the OS x workload matrix is run once per benchmark session
+and shared.  Campaign length is controlled by ``REPRO_BENCH_DURATION_S``
+(default 120 simulated seconds per cell; 600 reproduces the calibration
+quality used for EXPERIMENTS.md, at ~12 minutes of wall time for the
+matrix).
+
+Regenerated tables/figures are printed to stdout (run with ``-s`` to see
+them) and written under ``benchmarks/results/``.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig, run_latency_experiment
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+OS_NAMES = ("nt4", "win98")
+WORKLOADS = ("office", "workstation", "games", "web")
+
+
+def bench_duration_s() -> float:
+    return float(os.environ.get("REPRO_BENCH_DURATION_S", "120"))
+
+
+def bench_seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", "1999"))
+
+
+@pytest.fixture(scope="session")
+def matrix():
+    """SampleSet for every (os, workload) cell, computed once."""
+    duration = bench_duration_s()
+    seed = bench_seed()
+    results = {}
+    for os_name in OS_NAMES:
+        for workload in WORKLOADS:
+            result = run_latency_experiment(
+                ExperimentConfig(
+                    os_name=os_name, workload=workload, duration_s=duration, seed=seed
+                )
+            )
+            results[(os_name, workload)] = result.sample_set
+    return results
+
+
+def write_result(name: str, content: str) -> Path:
+    """Persist a regenerated table/figure and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(content + "\n")
+    print(f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{content}")
+    return path

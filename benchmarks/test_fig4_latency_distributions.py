@@ -1,0 +1,98 @@
+"""Figure 4: log-log latency distributions, both OSes x four workloads.
+
+Regenerates the six panel families:
+
+* Windows NT 4.0 DPC interrupt latency
+* Windows 98 interrupt + DPC latency
+* NT4 / Win98 kernel RT-thread latency at priority 28
+* NT4 / Win98 kernel RT-thread latency at priority 24
+
+and checks the qualitative properties the paper reads off them.
+"""
+
+import pytest
+
+from repro.core.histogram import LatencyHistogram
+from repro.core.report import format_figure4_panel
+from repro.core.samples import LatencyKind
+from benchmarks.conftest import WORKLOADS, write_result
+
+PANELS = (
+    ("nt4", LatencyKind.DPC_INTERRUPT, None, "NT4 DPC interrupt latency"),
+    ("win98", LatencyKind.DPC_INTERRUPT, None, "Win98 interrupt + DPC latency"),
+    ("nt4", LatencyKind.THREAD, 28, "NT4 thread latency (RT prio 28)"),
+    ("win98", LatencyKind.THREAD, 28, "Win98 thread latency (RT prio 28)"),
+    ("nt4", LatencyKind.THREAD, 24, "NT4 thread latency (RT prio 24)"),
+    ("win98", LatencyKind.THREAD, 24, "Win98 thread latency (RT prio 24)"),
+)
+
+
+def test_figure4_regeneration(matrix, benchmark):
+    blocks = []
+    for os_name, kind, priority, title in PANELS:
+        blocks.append(f"--- {title} ---")
+        for workload in WORKLOADS:
+            blocks.append(format_figure4_panel(matrix[(os_name, workload)], kind, priority))
+            blocks.append("")
+    write_result("figure4_latency_distributions.txt", "\n".join(blocks))
+
+    # Inline shape check (kept here so --benchmark-only still validates):
+    # Win98 games thread tail dwarfs NT's.
+    nt_worst = max(matrix[("nt4", "games")].latencies_ms(LatencyKind.THREAD, priority=28))
+    w98_worst = max(matrix[("win98", "games")].latencies_ms(LatencyKind.THREAD, priority=28))
+    assert w98_worst > 3.0 * nt_worst
+
+    # Bench the panel computation itself.
+    sample_set = matrix[("win98", "games")]
+    benchmark(
+        lambda: LatencyHistogram.from_values(
+            sample_set.latencies_ms(LatencyKind.THREAD, priority=28)
+        )
+    )
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_win98_thread_tails_dwarf_nt(matrix, workload):
+    """Every workload: the Win98 thread tail extends far beyond NT's."""
+    nt = max(matrix[("nt4", workload)].latencies_ms(LatencyKind.THREAD, priority=28))
+    w98 = max(matrix[("win98", workload)].latencies_ms(LatencyKind.THREAD, priority=28))
+    assert w98 > 3.0 * nt
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_win98_heavy_tail_on_loglog(matrix, workload):
+    """Win98 panels have mass spread over many log buckets (the 'straight
+    tail'); NT's high-RT panels collapse into a couple of buckets."""
+    w98 = LatencyHistogram.from_values(
+        matrix[("win98", workload)].latencies_ms(LatencyKind.THREAD, priority=28)
+    )
+    nt = LatencyHistogram.from_values(
+        matrix[("nt4", workload)].latencies_ms(LatencyKind.THREAD, priority=28)
+    )
+    assert len(w98.nonzero_buckets()) >= len(nt.nonzero_buckets()) + 2
+
+
+def test_games_is_worst_win98_workload_for_dpc_path(matrix):
+    maxima = {
+        workload: max(matrix[("win98", workload)].latencies_ms(LatencyKind.DPC_INTERRUPT))
+        for workload in WORKLOADS
+    }
+    assert maxima["games"] == max(maxima.values())
+
+
+def test_nt_priority_24_visibly_worse_than_28(matrix):
+    for workload in WORKLOADS:
+        ss = matrix[("nt4", workload)]
+        p24 = max(ss.latencies_ms(LatencyKind.THREAD, priority=24))
+        p28 = max(ss.latencies_ms(LatencyKind.THREAD, priority=28))
+        assert p24 > 3.0 * p28, workload
+
+
+def test_win98_prio24_and_28_similar(matrix):
+    """On Win98 the VMM sections block both RT priorities alike."""
+    for workload in WORKLOADS:
+        ss = matrix[("win98", workload)]
+        p24 = max(ss.latencies_ms(LatencyKind.THREAD, priority=24))
+        p28 = max(ss.latencies_ms(LatencyKind.THREAD, priority=28))
+        ratio = p24 / p28
+        assert 0.2 < ratio < 5.0, workload

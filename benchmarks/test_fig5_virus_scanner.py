@@ -1,0 +1,84 @@
+"""Figure 5: effect of the Plus! Pack virus scanner on thread latency.
+
+Runs the Win98 office load with and without the scanner and regenerates the
+two overlaid priority-24 thread latency distributions.  Paper: "with the
+virus scanner 16 millisecond thread latencies occur over two orders of
+magnitude more frequently" (once per ~1,000 waits vs once per ~165,000).
+"""
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig, run_latency_experiment
+from repro.core.histogram import LatencyHistogram, compare_tail_weight
+from repro.core.samples import LatencyKind
+from repro.workloads.perturbations import VIRUS_SCANNER
+from benchmarks.conftest import bench_duration_s, bench_seed, write_result
+
+
+@pytest.fixture(scope="module")
+def pair():
+    duration = bench_duration_s()
+    seed = bench_seed()
+    base = run_latency_experiment(
+        ExperimentConfig(os_name="win98", workload="office", duration_s=duration, seed=seed)
+    ).sample_set
+    scanned = run_latency_experiment(
+        ExperimentConfig(
+            os_name="win98", workload="office", duration_s=duration, seed=seed,
+            extra_profile=VIRUS_SCANNER,
+        )
+    ).sample_set
+    return base, scanned
+
+
+def histogram_24(sample_set):
+    return LatencyHistogram.from_values(
+        sample_set.latencies_ms(LatencyKind.THREAD, priority=24)
+    )
+
+
+def test_figure5_regeneration(pair, benchmark):
+    base, scanned = pair
+    blocks = [
+        histogram_24(base).render(
+            title="Win98 office, NO virus scanner (thread latency, RT prio 24)"
+        ),
+        "",
+        histogram_24(scanned).render(
+            title="Win98 office, WITH virus scanner (thread latency, RT prio 24)"
+        ),
+    ]
+    write_result("figure5_virus_scanner.txt", "\n".join(blocks))
+    # Inline shape check: the scanner visibly thickens the tail.
+    assert histogram_24(scanned).percent_exceeding(8.0) > histogram_24(
+        base
+    ).percent_exceeding(8.0)
+    benchmark(lambda: histogram_24(base))
+
+
+def test_scanner_inflates_long_latency_frequency(pair):
+    """The paper's two-orders-of-magnitude claim, asserted at >= 10x to
+    absorb run-length noise (the exact factor is printed to the report)."""
+    base, scanned = pair
+    ratio = compare_tail_weight(histogram_24(scanned), histogram_24(base), 8.0)
+    if ratio is None:
+        # Baseline saw nothing above 8 ms at this run length: even stronger.
+        assert histogram_24(scanned).percent_exceeding(8.0) > 0
+    else:
+        assert ratio > 10.0
+
+
+def test_scanner_rate_roughly_once_per_thousand_waits(pair):
+    """Paper: ~one 16 ms latency per 1,000 waits with the scanner on."""
+    _, scanned = pair
+    values = scanned.latencies_ms(LatencyKind.THREAD, priority=24)
+    over = sum(1 for v in values if v > 14.0)
+    rate = over / len(values)
+    assert 1e-4 < rate < 3e-2  # centred on ~1e-3
+
+def test_scanner_leaves_dpc_path_mostly_alone(pair):
+    """The scanner hurts threads (sections), not the interrupt path."""
+    base, scanned = pair
+    base_dpc = max(base.latencies_ms(LatencyKind.DPC_INTERRUPT))
+    scanned_dpc = max(scanned.latencies_ms(LatencyKind.DPC_INTERRUPT))
+    assert scanned_dpc < 3.0 * base_dpc

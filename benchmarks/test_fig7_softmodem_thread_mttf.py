@@ -1,0 +1,91 @@
+"""Figure 7: MTTF to buffer underrun, THREAD-based datapump, Windows 98.
+
+Same derivation as Figure 6 but indexed into the high-priority RT thread
+*interrupt* latency distribution (hardware interrupt to thread).  Paper
+readings: the thread-based datapump "will require about 48 milliseconds of
+latency tolerance (e.g., four 16 millisecond buffers) in order to average
+an hour between misses while playing an 'average' 3D game" -- an order of
+magnitude more buffering than the DPC-based pump needs.
+
+The NT analysis is forgone exactly as the paper does ("the worst case
+latencies for Windows NT are uniformly below the minimum modem slack time
+of 3 milliseconds"), but we *verify* that premise here.
+"""
+
+import pytest
+
+from repro.analysis.mttf import mttf_curve, mttf_for_buffering
+from repro.core.samples import LatencyKind
+from benchmarks.conftest import WORKLOADS, write_result
+
+COMPUTE_MS = 2.0
+
+
+@pytest.fixture(scope="module")
+def curves(matrix):
+    out = {}
+    for workload in WORKLOADS:
+        sample_set = matrix[("win98", workload)]
+        latencies = sample_set.latencies_ms(
+            LatencyKind.THREAD_INTERRUPT, priority=28
+        )
+        out[workload] = mttf_curve(latencies, compute_ms=COMPUTE_MS)
+    return out
+
+
+def test_figure7_regeneration(curves, matrix, benchmark):
+    from repro.analysis.charts import mttf_chart
+
+    blocks = ["Figure 7: MTTF (s) of thread-based softmodem datapump on Windows 98"]
+    for workload in WORKLOADS:
+        blocks.append(f"\n-- {workload} --")
+        for point in curves[workload]:
+            blocks.append(point.format())
+    blocks.append("")
+    blocks.append(mttf_chart(curves))
+    write_result("figure7_softmodem_thread_mttf.txt", "\n".join(blocks))
+
+    # Inline shape check: under games the thread pump still misses at
+    # buffering levels where Figure 6's DPC pump is already clean.
+    games = {p.buffering_ms: p for p in curves["games"]}
+    assert games[16.0].p_miss > 0.0
+
+    latencies = matrix[("win98", "games")].latencies_ms(
+        LatencyKind.THREAD_INTERRUPT, priority=28
+    )
+    benchmark(lambda: mttf_curve(latencies, compute_ms=COMPUTE_MS))
+
+
+def test_thread_pump_needs_more_buffering_than_dpc_pump(curves, matrix):
+    """The Figure 6 vs Figure 7 comparison at equal buffering."""
+    dpc_latencies = matrix[("win98", "games")].latencies_ms(LatencyKind.DPC_INTERRUPT)
+    thread_latencies = matrix[("win98", "games")].latencies_ms(
+        LatencyKind.THREAD_INTERRUPT, priority=28
+    )
+    for buffering in (16.0, 24.0, 32.0):
+        dpc = mttf_for_buffering(dpc_latencies, buffering, COMPUTE_MS)
+        thread = mttf_for_buffering(thread_latencies, buffering, COMPUTE_MS)
+        if dpc.mttf_s is None:
+            continue  # DPC pump already perfect here: trivially better
+        assert thread.mttf_s is not None
+        assert thread.mttf_s <= dpc.mttf_s * 1.5
+
+
+def test_games_hourly_mttf_needs_tens_of_ms(curves):
+    """Paper: ~48 ms of tolerance for an hour between misses in games."""
+    reached = None
+    for point in curves["games"]:
+        if point.mttf_s is None or point.mttf_s >= 3600.0:
+            reached = point.buffering_ms
+            break
+    assert reached is not None
+    assert reached >= 16.0  # far beyond the DPC pump's needs
+
+
+def test_nt_premise_worst_case_below_modem_slack(matrix):
+    """Verify why the paper forgoes the NT figures: NT worst cases sit
+    below the minimum modem slack (3 ms = 4 ms cycle - 1 ms compute)."""
+    for workload in WORKLOADS:
+        ss = matrix[("nt4", workload)]
+        worst_thread = max(ss.latencies_ms(LatencyKind.THREAD, priority=28))
+        assert worst_thread < 3.0, workload

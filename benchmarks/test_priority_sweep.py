@@ -1,0 +1,65 @@
+"""Extension bench: thread latency as a function of RT priority.
+
+Sweeps the measurement thread's real-time priority across 16..31 on NT 4.0
+under the games load and regenerates the latency-vs-priority profile.  The
+paper's explanation of the Figure 4 NT panels predicts a *cliff at exactly
+24*: any priority above the work-item servicing thread preempts it freely,
+any priority at or below it queues behind multi-millisecond work items.
+"""
+
+import pytest
+
+from repro.core.experiment import build_loaded_os
+from repro.core.stats import percentile
+from repro.drivers.latency import LatencyToolConfig, WdmLatencyTool
+from benchmarks.conftest import bench_duration_s, bench_seed, write_result
+
+PRIORITIES = (16, 20, 23, 24, 25, 28, 31)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    duration_ms = min(bench_duration_s(), 60.0) * 1000.0
+    os, _ = build_loaded_os("nt4", "games", seed=bench_seed())
+    tool = WdmLatencyTool(os, LatencyToolConfig(thread_priorities=PRIORITIES))
+    tool.start()
+    os.machine.run_for_ms(duration_ms)
+    sample_set = tool.collect("games")
+    from repro.core.samples import LatencyKind
+
+    profile = {}
+    for priority in PRIORITIES:
+        values = sorted(sample_set.latencies_ms(LatencyKind.THREAD, priority=priority))
+        profile[priority] = {
+            "p99": percentile(values, 0.99),
+            "max": values[-1],
+            "n": len(values),
+        }
+    return profile
+
+
+def test_priority_sweep_regeneration(sweep, benchmark):
+    rows = [f"{'priority':>8s} {'p99 (ms)':>10s} {'max (ms)':>10s} {'samples':>8s}"]
+    for priority in PRIORITIES:
+        cell = sweep[priority]
+        rows.append(
+            f"{priority:8d} {cell['p99']:10.3f} {cell['max']:10.3f} {cell['n']:8d}"
+        )
+    write_result("nt4_priority_sweep.txt", "\n".join(rows))
+
+    # The cliff: everything <= 24 is far worse than everything >= 25.
+    below = max(sweep[p]["max"] for p in (16, 20, 23, 24))
+    above = max(sweep[p]["max"] for p in (25, 28, 31))
+    assert below > 3.0 * above
+    benchmark(lambda: sorted(sweep))
+
+
+def test_priorities_below_worker_all_comparable(sweep):
+    """16..24 all queue behind the same work items; no cliff among them."""
+    maxima = [sweep[p]["max"] for p in (16, 20, 23, 24)]
+    assert max(maxima) < 30.0 * min(maxima)
+
+
+def test_priorities_above_worker_all_fast(sweep):
+    for priority in (25, 28, 31):
+        assert sweep[priority]["max"] < 5.0

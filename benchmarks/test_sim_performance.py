@@ -1,0 +1,49 @@
+"""Simulator performance benchmarks (pytest-benchmark timing targets).
+
+These are the only benchmarks here about *our* code's speed rather than
+the paper's results: events/second through the engine and simulated-seconds
+per wall-second for a loaded kernel.
+"""
+
+from repro.core.experiment import build_loaded_os
+from repro.hw.machine import Machine, MachineConfig
+from repro.kernel.boot import boot_os
+from repro.sim.engine import Engine
+
+
+def test_engine_event_throughput(benchmark):
+    def run_10k_events():
+        engine = Engine()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                engine.schedule_in(10, tick)
+
+        engine.schedule_in(10, tick)
+        engine.drain(max_events=20_000)
+        return count[0]
+
+    assert benchmark(run_10k_events) == 10_000
+
+
+def test_idle_kernel_simulation_rate(benchmark):
+    def one_second_idle():
+        machine = Machine(MachineConfig(pit_hz=1000.0), seed=1)
+        boot_os(machine, "nt4", baseline_load=False)
+        machine.run_for_ms(1000)
+        return machine.engine.events_processed
+
+    events = benchmark(one_second_idle)
+    assert events > 1000
+
+
+def test_loaded_win98_simulation_rate(benchmark):
+    def one_second_loaded():
+        os, _ = build_loaded_os("win98", "games", seed=1)
+        os.machine.run_for_ms(1000)
+        return os.kernel.stats.interrupts_delivered
+
+    interrupts = benchmark.pedantic(one_second_loaded, rounds=3, iterations=1)
+    assert interrupts > 500

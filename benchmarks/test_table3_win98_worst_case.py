@@ -1,0 +1,115 @@
+"""Table 3: Windows 98 expected hourly/daily/weekly worst-case latencies.
+
+Regenerates the full table (7 service rows x 4 workloads x 3 horizons) and
+checks the reproduction bands: each regenerated cell should land within a
+small factor of the paper's value -- the substrate is a calibrated
+simulator, so we assert the *shape* (orderings, ballpark magnitudes), not
+cycle-exact equality.
+"""
+
+import pytest
+
+from repro.core.samples import LatencyKind
+from repro.core.worst_case import WorstCaseTable
+from benchmarks.conftest import WORKLOADS, write_result
+
+#: Table 3 verbatim: (kind, priority) -> workload -> (hr, day, wk) ms.
+PAPER_TABLE3 = {
+    (LatencyKind.ISR, None): {
+        "office": (1.0, 1.4, 1.6),
+        "workstation": (2.2, 5.6, 6.3),
+        "games": (8.8, 9.7, 12.2),
+        "web": (1.1, 1.7, 3.5),
+    },
+    (LatencyKind.DPC_INTERRUPT, None): {
+        "office": (1.0, 1.5, 2.0),
+        "workstation": (2.7, 6.1, 6.9),
+        "games": (9.7, 12.0, 14.0),
+        "web": (1.3, 2.0, 3.8),
+    },
+    (LatencyKind.THREAD, 28): {
+        "office": (1.6, 5.2, 31.0),
+        "workstation": (21.0, 24.0, 24.0),
+        "games": (35.0, 46.0, 70.0),
+        "web": (14.0, 68.0, 80.0),
+    },
+    (LatencyKind.THREAD, 24): {
+        "office": (3.1, 6.7, 31.0),
+        "workstation": (21.0, 23.0, 24.0),
+        "games": (36.0, 47.0, 70.0),
+        "web": (51.0, 68.0, 80.0),
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def tables(matrix):
+    return {
+        workload: WorstCaseTable(matrix[("win98", workload)])
+        for workload in WORKLOADS
+    }
+
+
+def test_table3_regeneration(tables, matrix, benchmark):
+    blocks = []
+    for workload in WORKLOADS:
+        blocks.append(tables[workload].format())
+        blocks.append("")
+    write_result("table3_win98_worst_case.txt", "\n".join(blocks))
+    # Inline shape checks for --benchmark-only runs.
+    weekly_isr = {
+        w: tables[w].row(LatencyKind.ISR, None).max_per_week_ms for w in WORKLOADS
+    }
+    assert weekly_isr["games"] == max(weekly_isr.values())
+    for workload in WORKLOADS:
+        row = tables[workload]
+        assert row.row(LatencyKind.THREAD, 28).max_per_week_ms > row.row(
+            LatencyKind.DPC_INTERRUPT, None
+        ).max_per_week_ms
+    benchmark(lambda: WorstCaseTable(matrix[("win98", "office")]))
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_hourly_values_in_band(tables, workload):
+    """Hourly cells (interpolated from data) within ~3x of the paper."""
+    for (kind, priority), per_workload in PAPER_TABLE3.items():
+        paper_hr = per_workload[workload][0]
+        row = tables[workload].row(kind, priority)
+        assert row is not None
+        assert row.max_per_hour_ms == pytest.approx(paper_hr, rel=2.0), (
+            f"{workload}/{kind.value}/{priority}: measured {row.max_per_hour_ms:.2f} "
+            f"vs paper {paper_hr}"
+        )
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_horizon_monotonicity(tables, workload):
+    for row in tables[workload].rows:
+        assert row.max_per_hour_ms <= row.max_per_day_ms + 1e-9
+        assert row.max_per_day_ms <= row.max_per_week_ms + 1e-9
+
+
+def test_cross_workload_isr_ordering(tables):
+    """Games >> workstation > web/office for ISR latency (Table 3)."""
+    weekly = {
+        w: tables[w].row(LatencyKind.ISR, None).max_per_week_ms for w in WORKLOADS
+    }
+    assert weekly["games"] > weekly["workstation"] > weekly["office"]
+    assert weekly["games"] > weekly["web"]
+
+
+def test_dpc_adds_small_increment_over_isr(tables):
+    """The 'S/W ISR to DPC' component is a fraction of the ISR one."""
+    for workload in WORKLOADS:
+        isr = tables[workload].row(LatencyKind.ISR, None).max_per_week_ms
+        dpc_int = tables[workload].row(LatencyKind.DPC_INTERRUPT, None).max_per_week_ms
+        assert dpc_int >= isr - 1e-9
+        assert dpc_int <= isr + 6.0  # the paper's largest DPC add is +2.1
+
+
+def test_thread_rows_dwarf_dpc_rows(tables):
+    """On Win98, thread service is ~an order of magnitude worse."""
+    for workload in WORKLOADS:
+        dpc_int = tables[workload].row(LatencyKind.DPC_INTERRUPT, None).max_per_week_ms
+        thread = tables[workload].row(LatencyKind.THREAD, 28).max_per_week_ms
+        assert thread > 2.0 * dpc_int, workload

@@ -1,0 +1,64 @@
+"""Table 4: latency-cause tool output, Win98 office + default sound scheme.
+
+Reproduces the experiment of section 4.4: run Business Winstone on Windows
+98 with the default sound scheme, report thread latencies over a threshold,
+and dump per-episode module+function traces.  The paper's sample episodes
+catch SYSAUDIO ``_ProcessTopologyConnection``, VMM ``_mmCalcFrameBadness``/
+``_mmFindContig``, NTKERN ``_ExpAllocatePool`` and KMIXER.
+"""
+
+import pytest
+
+from repro.analysis.causes import summarize_episodes
+from repro.core.experiment import build_loaded_os
+from repro.drivers.cause_tool import LatencyCauseTool
+from repro.drivers.latency import LatencyToolConfig, WdmLatencyTool
+from repro.workloads.perturbations import DEFAULT_SOUND_SCHEME
+from benchmarks.conftest import bench_duration_s, bench_seed, write_result
+
+
+@pytest.fixture(scope="module")
+def cause_run():
+    os, _ = build_loaded_os(
+        "win98", "office", seed=bench_seed(), extra_profile=DEFAULT_SOUND_SCHEME
+    )
+    tool = WdmLatencyTool(os, LatencyToolConfig())
+    cause = LatencyCauseTool(tool, threshold_ms=3.0)
+    tool.start()
+    os.machine.run_for_ms(bench_duration_s() * 1000.0)
+    return cause
+
+
+def test_table4_regeneration(cause_run, benchmark):
+    report = cause_run.format_report(limit=6)
+    summary = summarize_episodes(cause_run.episodes)
+    write_result(
+        "table4_cause_traces.txt",
+        report + "\n\nAggregate:\n" + summary.format(),
+    )
+    benchmark(lambda: summarize_episodes(cause_run.episodes))
+
+
+def test_episodes_were_captured(cause_run):
+    assert len(cause_run.episodes) >= 3
+
+
+def test_sound_scheme_modules_appear_in_traces(cause_run):
+    """The paper's traces finger SysAudio/VMM audio-frame work."""
+    summary = summarize_episodes(cause_run.episodes)
+    seen_modules = set(summary.by_module)
+    assert "SYSAUDIO" in seen_modules or "KMIXER" in seen_modules
+    assert "VMM" in seen_modules
+
+
+def test_paper_functions_present(cause_run):
+    summary = summarize_episodes(cause_run.episodes)
+    functions = {f for (_, f) in summary.by_function}
+    expected = {"_ProcessTopologyConnection", "_mmCalcFrameBadness", "unknown"}
+    assert functions & expected
+
+
+def test_episode_format_matches_paper_shape(cause_run):
+    text = cause_run.episodes[0].format()
+    assert text.startswith("Analysis of latency episode number")
+    assert "total samples in episode" in text

@@ -1,0 +1,72 @@
+"""Section 4.2's control experiment: throughput hides the latency gulf.
+
+"To verify that throughput-based benchmarks would not reveal the variation
+in real-time performance ... we ran the Business Winstone 97 benchmark on
+Windows 98 and on Windows NT 4.0 ... the average delta between like scores
+was 10% and the maximum delta was 20%."
+
+The bench runs the Winstone-style batch on both kernels and contrasts the
+few-percent score delta with the order-of-magnitude weekly-worst-case
+latency ratio measured on the same pair of kernels.
+"""
+
+import pytest
+
+from repro.core.report import compare_sample_sets
+from repro.core.samples import LatencyKind
+from repro.sim.rng import DurationDistribution
+from repro.workloads.throughput import ThroughputConfig, compare_throughput
+from benchmarks.conftest import bench_seed, write_result
+
+CONFIG = ThroughputConfig(
+    units=300,
+    compute_ms=DurationDistribution(body_median_ms=4.0, body_sigma=0.5, max_ms=20.0),
+    io_ms=DurationDistribution(body_median_ms=3.0, body_sigma=0.6, max_ms=20.0),
+    workload="idle",
+    seed=bench_seed(),
+    timeout_s=120.0,
+)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return compare_throughput(CONFIG)
+
+
+def test_throughput_vs_latency_regeneration(comparison, matrix, benchmark):
+    latency = compare_sample_sets(
+        matrix[("nt4", "office")], matrix[("win98", "office")]
+    )
+    report = "\n".join(
+        [
+            comparison.format(),
+            "",
+            "...while the latency view of the same two kernels:",
+            latency.format(),
+        ]
+    )
+    write_result("throughput_vs_latency.txt", report)
+
+    small = ThroughputConfig(units=40, seed=bench_seed(), timeout_s=60.0)
+    from repro.workloads.throughput import run_throughput_benchmark
+
+    benchmark.pedantic(
+        lambda: run_throughput_benchmark("nt4", small), rounds=3, iterations=1
+    )
+
+
+def test_scores_within_paper_band(comparison):
+    """Maximum delta the paper saw was 20%."""
+    assert comparison.delta_fraction <= 0.20
+
+
+def test_latency_ratio_dwarfs_throughput_delta(comparison, matrix):
+    """The paper's whole point: same kernels, ~5% throughput apart,
+    order(s) of magnitude apart on worst-case latency."""
+    nt = matrix[("nt4", "games")]
+    w98 = matrix[("win98", "games")]
+    worst_nt = max(nt.latencies_ms(LatencyKind.THREAD, priority=28))
+    worst_98 = max(w98.latencies_ms(LatencyKind.THREAD, priority=28))
+    latency_ratio = worst_98 / worst_nt
+    assert latency_ratio > 10.0
+    assert latency_ratio > 20 * max(comparison.delta_fraction, 0.01)

@@ -1,0 +1,53 @@
+"""Extension bench: the Windows 2000 beta alongside the paper's two OSes.
+
+Not a paper artefact -- the section 6.1 monitoring effort, regenerated:
+the same campaign on win98 / nt4 / win2k, one summary table.
+"""
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig, run_latency_experiment
+from repro.core.samples import LatencyKind
+from repro.core.worst_case import WorstCaseTable
+from benchmarks.conftest import bench_duration_s, bench_seed, write_result
+
+
+@pytest.fixture(scope="module")
+def three_way(matrix):
+    duration = min(bench_duration_s(), 120.0)
+    sets = {
+        "nt4": matrix[("nt4", "games")],
+        "win98": matrix[("win98", "games")],
+        "win2k": run_latency_experiment(
+            ExperimentConfig(
+                os_name="win2k", workload="games", duration_s=duration, seed=bench_seed()
+            )
+        ).sample_set,
+    }
+    return sets
+
+
+def test_three_os_regeneration(three_way, benchmark):
+    rows = [f"{'OS':8s} {'DPC-int wk':>12s} {'thr28 wk':>10s} {'thr24 wk':>10s}"]
+    weekly = {}
+    for os_name in ("win98", "nt4", "win2k"):
+        table = WorstCaseTable(three_way[os_name])
+        dpc = table.row(LatencyKind.DPC_INTERRUPT, None).max_per_week_ms
+        t28 = table.row(LatencyKind.THREAD, 28).max_per_week_ms
+        t24 = table.row(LatencyKind.THREAD, 24).max_per_week_ms
+        weekly[os_name] = (dpc, t28, t24)
+        rows.append(f"{os_name:8s} {dpc:12.2f} {t28:10.2f} {t24:10.2f}")
+    write_result("win2k_extension_three_way.txt", "\n".join(rows))
+
+    # The NT-family kernels are the same league; 98 is its own league.
+    assert weekly["win98"][1] > 3.0 * weekly["nt4"][1]
+    assert weekly["win98"][1] > 3.0 * weekly["win2k"][1]
+    assert 0.2 <= weekly["win2k"][1] / weekly["nt4"][1] <= 5.0
+
+    benchmark(lambda: WorstCaseTable(three_way["win2k"]))
+
+
+def test_win2k_keeps_work_item_penalty(three_way):
+    t28 = max(three_way["win2k"].latencies_ms(LatencyKind.THREAD, priority=28))
+    t24 = max(three_way["win2k"].latencies_ms(LatencyKind.THREAD, priority=24))
+    assert t24 > 3.0 * t28

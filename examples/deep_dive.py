@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Deep dive on one campaign: worst cycle, replication, data export.
+
+Shows the library-features workflow a downstream user runs after the
+headline numbers raise questions:
+
+1. run a campaign and find the *worst* measurement cycle;
+2. render it as an annotated Figure 3 timeline;
+3. replicate the campaign across seeds to get error bars;
+4. export the raw samples to CSV/JSON for external tooling.
+"""
+
+import argparse
+from pathlib import Path
+
+from repro import (
+    ExperimentConfig,
+    LatencyKind,
+    replicate_experiment,
+    run_latency_experiment,
+    sample_set_to_csv,
+    sample_set_to_json,
+)
+from repro.core.timeline import render_cycle_timeline, worst_cycle
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--os", dest="os_name", default="win98")
+    parser.add_argument("--workload", default="games")
+    parser.add_argument("--duration", type=float, default=20.0)
+    parser.add_argument("--seeds", type=int, default=4)
+    parser.add_argument("--export-dir", default=None,
+                        help="write samples.csv / samples.json here")
+    args = parser.parse_args()
+
+    config = ExperimentConfig(
+        os_name=args.os_name, workload=args.workload, duration_s=args.duration
+    )
+    print(f"running {args.os_name}/{args.workload} for {args.duration:.0f}s...")
+    result = run_latency_experiment(config)
+    ss = result.sample_set
+
+    # ------------------------------------------------------------------
+    # 1+2: the worst cycle, under the microscope.
+    # ------------------------------------------------------------------
+    print("\n=== the campaign's worst thread-latency cycle ===")
+    worst = worst_cycle(ss, LatencyKind.THREAD, priority=28)
+    print(render_cycle_timeline(worst, ss.clock))
+
+    # ------------------------------------------------------------------
+    # 3: error bars across seeds.
+    # ------------------------------------------------------------------
+    print(f"\n=== replication across {args.seeds} seeds ===")
+    campaign = replicate_experiment(config, seeds=range(1, args.seeds + 1))
+    print(campaign.format())
+
+    # ------------------------------------------------------------------
+    # 4: export.
+    # ------------------------------------------------------------------
+    if args.export_dir:
+        out = Path(args.export_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "samples.csv").write_text(sample_set_to_csv(ss))
+        (out / "samples.json").write_text(sample_set_to_json(ss, indent=2))
+        print(f"\nexported {len(ss)} samples to {out}/samples.csv and .json")
+    else:
+        print("\n(pass --export-dir to dump the raw samples as CSV/JSON)")
+
+
+if __name__ == "__main__":
+    main()

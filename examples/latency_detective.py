@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Hunting latency causes (paper sections 2.3, 4.3, 4.4).
+
+Reproduces the paper's detective story: Windows 98 running office
+applications breaks up low-latency audio -- but *why*?  The latency cause
+tool hooks the PIT interrupt, samples the interrupted instruction pointer
+once a millisecond, and dumps the ring buffer whenever the thread-latency
+tool sees an episode over a threshold.  Aggregated per-module traces point
+at the culprit without any source code.
+
+Three scenarios:
+  1. office load, no sound scheme        (baseline)
+  2. office load + default sound scheme  (Table 4's SYSAUDIO/KMIXER story)
+  3. office load + Plus! virus scanner   (Figure 5's villain)
+"""
+
+import argparse
+
+from repro import DEFAULT_SOUND_SCHEME, VIRUS_SCANNER, build_loaded_os
+from repro.analysis.causes import diff_summaries, summarize_episodes
+from repro.drivers.cause_tool import LatencyCauseTool
+from repro.drivers.latency import LatencyToolConfig, WdmLatencyTool
+
+
+def investigate(label, extra_profile, duration_s, seed, threshold_ms):
+    print(f"\n=== scenario: {label} ===")
+    os, _ = build_loaded_os("win98", "office", seed=seed, extra_profile=extra_profile)
+    tool = WdmLatencyTool(os, LatencyToolConfig())
+    cause = LatencyCauseTool(tool, threshold_ms=threshold_ms)
+    tool.start()
+    os.machine.run_for_ms(duration_s * 1000.0)
+    summary = summarize_episodes(cause.episodes)
+    print(f"{len(cause.episodes)} episodes over {threshold_ms} ms "
+          f"in {duration_s:.0f} s of collection")
+    if cause.episodes:
+        print("\nfirst episodes (Table 4 format):")
+        print(cause.format_report(limit=2))
+        print("\naggregate:")
+        print(summary.format())
+    return summary
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=40.0)
+    parser.add_argument("--seed", type=int, default=1999)
+    parser.add_argument("--threshold", type=float, default=3.0)
+    args = parser.parse_args()
+
+    baseline = investigate("no sound scheme", None, args.duration, args.seed, args.threshold)
+    sound = investigate(
+        "default sound scheme", DEFAULT_SOUND_SCHEME, args.duration, args.seed, args.threshold
+    )
+    scanner = investigate(
+        "virus scanner", VIRUS_SCANNER, args.duration, args.seed, args.threshold
+    )
+
+    print("\n=== who got worse? (module share of episode samples) ===")
+    print("\nsound scheme vs baseline:")
+    for module, before, after in diff_summaries(baseline, sound)[:4]:
+        print(f"  {module:12s} {before:6.1%} -> {after:6.1%}")
+    print("\nvirus scanner vs baseline:")
+    for module, before, after in diff_summaries(baseline, scanner)[:4]:
+        print(f"  {module:12s} {before:6.1%} -> {after:6.1%}")
+    print(
+        "\nThe bug report upgrade the paper describes: from 'audio breaks up"
+        "\nwhen we turn on your application' to a function-level trace."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,131 @@
+"""repro: WDM latency performance on Windows NT 4.0 vs Windows 98.
+
+A simulation-based reproduction of Cota-Robles & Held, "A Comparison of
+Windows Driver Model Latency Performance on Windows NT and Windows 98"
+(OSDI 1999).  The package rebuilds the paper's whole measurement universe:
+
+* a cycle-accurate discrete-event PC (:mod:`repro.hw`, :mod:`repro.sim`);
+* a WDM kernel with two personalities -- NT 4.0 and Windows 98
+  (:mod:`repro.kernel`);
+* the paper's instrumented drivers: the latency measurement tool, the
+  latency-cause tool, and the soft-modem datapump
+  (:mod:`repro.wdm`, :mod:`repro.drivers`);
+* the four application stress loads plus the virus-scanner / sound-scheme
+  perturbations (:mod:`repro.workloads`);
+* the methodology itself -- latency distributions, expected worst cases,
+  MTTF and schedulability analysis (:mod:`repro.core`,
+  :mod:`repro.analysis`).
+
+Quick start::
+
+    from repro import ExperimentConfig, run_latency_experiment, WorstCaseTable
+
+    result = run_latency_experiment(
+        ExperimentConfig(os_name="win98", workload="games", duration_s=60.0)
+    )
+    print(WorstCaseTable(result.sample_set).format())
+"""
+
+from repro.analysis.mttf import mttf_curve, mttf_for_buffering
+from repro.analysis.schedulability import (
+    PeriodicTask,
+    TaskSet,
+    is_schedulable,
+    pseudo_worst_case_ms,
+    response_time_analysis,
+)
+from repro.analysis.tolerance import APPLICATION_TOLERANCES, latency_tolerance_ms
+from repro.core.dominance import dominance_fraction, ks_statistic, quantile_ratio_profile
+from repro.core.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    build_loaded_os,
+    run_latency_experiment,
+    run_matrix,
+)
+from repro.core.export import (
+    latencies_to_csv,
+    sample_set_from_csv,
+    sample_set_from_json,
+    sample_set_to_csv,
+    sample_set_to_json,
+)
+from repro.core.histogram import LatencyHistogram
+from repro.core.replication import ReplicatedCampaign, replicate_experiment
+from repro.core.report import OsComparison, ServiceQuality, compare_sample_sets
+from repro.core.samples import LatencyKind, RawSample, SampleSet
+from repro.core.worst_case import (
+    DEFAULT_TIME_COMPRESSION,
+    WorstCaseEstimator,
+    WorstCaseTable,
+)
+from repro.drivers.cause_tool import LatencyCauseTool
+from repro.drivers.latency import LatencyToolConfig, WdmLatencyTool
+from repro.drivers.interactive import InteractiveConfig, KeystrokeEchoDriver
+from repro.drivers.profiling import ProfilingCauseSampler
+from repro.drivers.softaudio import SoftAudioConfig, SoftAudioRenderer
+from repro.drivers.softmodem import DatapumpConfig, SoftModemDatapump
+from repro.hw.machine import Machine, MachineConfig
+from repro.kernel.boot import OS_NAMES, boot_os
+from repro.workloads.base import get_workload, workload_names
+from repro.workloads.perturbations import DEFAULT_SOUND_SCHEME, VIRUS_SCANNER
+from repro.workloads.throughput import ThroughputConfig, compare_throughput
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APPLICATION_TOLERANCES",
+    "DEFAULT_SOUND_SCHEME",
+    "DEFAULT_TIME_COMPRESSION",
+    "DatapumpConfig",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "InteractiveConfig",
+    "KeystrokeEchoDriver",
+    "LatencyCauseTool",
+    "LatencyHistogram",
+    "LatencyKind",
+    "LatencyToolConfig",
+    "Machine",
+    "MachineConfig",
+    "OS_NAMES",
+    "OsComparison",
+    "PeriodicTask",
+    "ProfilingCauseSampler",
+    "RawSample",
+    "ReplicatedCampaign",
+    "SampleSet",
+    "ServiceQuality",
+    "SoftAudioConfig",
+    "SoftAudioRenderer",
+    "SoftModemDatapump",
+    "TaskSet",
+    "ThroughputConfig",
+    "VIRUS_SCANNER",
+    "WdmLatencyTool",
+    "WorstCaseEstimator",
+    "WorstCaseTable",
+    "boot_os",
+    "build_loaded_os",
+    "compare_sample_sets",
+    "compare_throughput",
+    "dominance_fraction",
+    "get_workload",
+    "is_schedulable",
+    "ks_statistic",
+    "latencies_to_csv",
+    "latency_tolerance_ms",
+    "mttf_curve",
+    "mttf_for_buffering",
+    "pseudo_worst_case_ms",
+    "quantile_ratio_profile",
+    "replicate_experiment",
+    "response_time_analysis",
+    "run_latency_experiment",
+    "run_matrix",
+    "sample_set_from_csv",
+    "sample_set_from_json",
+    "sample_set_to_csv",
+    "sample_set_to_json",
+    "workload_names",
+]

@@ -1,0 +1,140 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror the paper's workflow:
+
+* ``measure``  -- run one latency campaign and print the Table 3-style
+  worst-case report plus a Figure 4-style histogram.
+* ``compare``  -- run both OSes under one workload and print the section 4
+  comparison ratios.
+* ``mttf``     -- derive the Figure 6/7 soft-modem MTTF curves from a
+  campaign.
+* ``causes``   -- run the latency-cause tool and print Table 4-style
+  episode traces.
+* ``throughput`` -- the section 4.2 Winstone-style control experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.causes import summarize_episodes
+from repro.analysis.mttf import mttf_curve
+from repro.core.experiment import ExperimentConfig, build_loaded_os, run_latency_experiment
+from repro.core.report import compare_sample_sets, format_figure4_panel
+from repro.core.samples import LatencyKind
+from repro.core.worst_case import WorstCaseTable
+from repro.drivers.cause_tool import LatencyCauseTool
+from repro.drivers.latency import LatencyToolConfig, WdmLatencyTool
+from repro.kernel.boot import OS_NAMES
+from repro.workloads.base import workload_names
+from repro.workloads.throughput import ThroughputConfig, compare_throughput
+
+
+def _add_common(parser: argparse.ArgumentParser, default_duration: float = 30.0) -> None:
+    parser.add_argument("--workload", default="games", choices=workload_names())
+    parser.add_argument("--duration", type=float, default=default_duration,
+                        help="simulated seconds of measurement")
+    parser.add_argument("--seed", type=int, default=1999)
+
+
+def cmd_measure(args) -> int:
+    result = run_latency_experiment(
+        ExperimentConfig(
+            os_name=args.os, workload=args.workload,
+            duration_s=args.duration, seed=args.seed,
+        )
+    )
+    ss = result.sample_set
+    print(f"{len(ss)} samples at {ss.sample_rate_hz():.0f} Hz\n")
+    print(WorstCaseTable(ss).format())
+    print()
+    print(format_figure4_panel(ss, LatencyKind.THREAD, priority=28))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    sets = {}
+    for os_name in ("nt4", "win98"):
+        print(f"measuring {os_name}...", file=sys.stderr)
+        sets[os_name] = run_latency_experiment(
+            ExperimentConfig(
+                os_name=os_name, workload=args.workload,
+                duration_s=args.duration, seed=args.seed,
+            )
+        ).sample_set
+    print(compare_sample_sets(sets["nt4"], sets["win98"]).format())
+    return 0
+
+
+def cmd_mttf(args) -> int:
+    result = run_latency_experiment(
+        ExperimentConfig(
+            os_name=args.os, workload=args.workload,
+            duration_s=args.duration, seed=args.seed,
+        )
+    )
+    ss = result.sample_set
+    print("DPC-based datapump (Figure 6):")
+    for point in mttf_curve(ss.latencies_ms(LatencyKind.DPC_INTERRUPT), compute_ms=2.0):
+        print("  " + point.format())
+    thread = ss.latencies_ms(LatencyKind.THREAD_INTERRUPT, priority=28)
+    print("thread-based datapump (Figure 7):")
+    for point in mttf_curve(thread, compute_ms=2.0):
+        print("  " + point.format())
+    return 0
+
+
+def cmd_causes(args) -> int:
+    os, _ = build_loaded_os(args.os, args.workload, seed=args.seed)
+    tool = WdmLatencyTool(os, LatencyToolConfig())
+    cause = LatencyCauseTool(tool, threshold_ms=args.threshold)
+    tool.start()
+    os.machine.run_for_ms(args.duration * 1000.0)
+    print(cause.format_report(limit=4))
+    print("\naggregate:")
+    print(summarize_episodes(cause.episodes).format())
+    return 0
+
+
+def cmd_throughput(args) -> int:
+    comparison = compare_throughput(ThroughputConfig(units=args.units, seed=args.seed))
+    print(comparison.format())
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("measure", help="one latency campaign")
+    p.add_argument("--os", default="win98", choices=OS_NAMES)
+    _add_common(p)
+    p.set_defaults(func=cmd_measure)
+
+    p = sub.add_parser("compare", help="NT 4.0 vs Windows 98")
+    _add_common(p)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("mttf", help="soft-modem MTTF curves")
+    p.add_argument("--os", default="win98", choices=OS_NAMES)
+    _add_common(p)
+    p.set_defaults(func=cmd_mttf)
+
+    p = sub.add_parser("causes", help="latency-cause episodes")
+    p.add_argument("--os", default="win98", choices=OS_NAMES)
+    p.add_argument("--threshold", type=float, default=3.0)
+    _add_common(p)
+    p.set_defaults(func=cmd_causes)
+
+    p = sub.add_parser("throughput", help="Winstone-style control experiment")
+    p.add_argument("--units", type=int, default=200)
+    p.add_argument("--seed", type=int, default=1999)
+    p.set_defaults(func=cmd_throughput)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

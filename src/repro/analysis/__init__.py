@@ -1,0 +1,37 @@
+"""Analysis layer: turning latency distributions into QoS forecasts.
+
+* :mod:`repro.analysis.tolerance` -- the latency-tolerance model of
+  Table 1 ((n-1) * t for n buffers of t milliseconds).
+* :mod:`repro.analysis.mttf` -- mean-time-to-buffer-underrun curves for
+  the soft-modem datapump (Figures 6 and 7, section 5.1).
+* :mod:`repro.analysis.schedulability` -- rate-monotonic schedulability
+  analysis on a non-real-time OS via pseudo-worst-case amortisation
+  (section 5.2, reference [4]).
+* :mod:`repro.analysis.causes` -- post-mortem aggregation of latency-cause
+  episodes (Table 4).
+* :mod:`repro.analysis.microbench` -- the lmbench-style unloaded-average
+  suite the paper critiques in section 1.2.
+* :mod:`repro.analysis.charts` -- ASCII rendering of the figures.
+"""
+
+from repro.analysis.charts import ascii_chart, mttf_chart
+from repro.analysis.microbench import compare_microbenchmarks, run_microbench_suite
+from repro.analysis.mttf import MttfPoint, mttf_curve, mttf_for_buffering
+from repro.analysis.tolerance import (
+    APPLICATION_TOLERANCES,
+    ApplicationTolerance,
+    latency_tolerance_ms,
+)
+
+__all__ = [
+    "APPLICATION_TOLERANCES",
+    "ApplicationTolerance",
+    "MttfPoint",
+    "ascii_chart",
+    "compare_microbenchmarks",
+    "latency_tolerance_ms",
+    "mttf_chart",
+    "mttf_curve",
+    "mttf_for_buffering",
+    "run_microbench_suite",
+]

@@ -1,0 +1,86 @@
+"""Post-mortem aggregation of latency-cause episodes (section 4.3/4.4).
+
+The cause tool (:mod:`repro.drivers.cause_tool`) captures raw episodes;
+this module is the "post mortem analysis [that] produces a set of traces of
+active modules and, if symbol files are available, functions".  It answers
+the questions the paper asks of its own traces: which modules dominate the
+long-latency episodes, and does a perturbation (virus scanner, sound
+scheme) change that mix -- the difference between a bug report of "audio
+breaks up when we turn on your application" and one with function traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.drivers.cause_tool import LatencyEpisode
+
+
+@dataclass(frozen=True)
+class CauseSummary:
+    """Aggregate view over a set of episodes."""
+
+    episodes: int
+    total_samples: int
+    by_module: Dict[str, int]
+    by_function: Dict[Tuple[str, str], int]
+
+    def top_modules(self, limit: int = 5) -> List[Tuple[str, int]]:
+        return sorted(self.by_module.items(), key=lambda kv: -kv[1])[:limit]
+
+    def top_functions(self, limit: int = 8) -> List[Tuple[Tuple[str, str], int]]:
+        return sorted(self.by_function.items(), key=lambda kv: -kv[1])[:limit]
+
+    def module_share(self, module: str) -> float:
+        """Fraction of episode samples attributed to ``module``."""
+        if self.total_samples == 0:
+            return 0.0
+        return self.by_module.get(module, 0) / self.total_samples
+
+    def format(self) -> str:
+        lines = [
+            f"{self.episodes} episodes, {self.total_samples} interrupted-IP samples"
+        ]
+        for module, count in self.top_modules():
+            lines.append(f"  {module:12s} {count:5d} samples ({count / max(1, self.total_samples):.0%})")
+        lines.append("  top functions:")
+        for (module, function), count in self.top_functions():
+            lines.append(f"    {count:4d} samples in {module} function {function}")
+        return "\n".join(lines)
+
+
+def summarize_episodes(episodes: Sequence[LatencyEpisode]) -> CauseSummary:
+    """Aggregate per-module and per-function sample counts."""
+    by_module: Dict[str, int] = {}
+    by_function: Dict[Tuple[str, str], int] = {}
+    total = 0
+    for episode in episodes:
+        for key, count in episode.function_counts().items():
+            by_function[key] = by_function.get(key, 0) + count
+            by_module[key[0]] = by_module.get(key[0], 0) + count
+            total += count
+    return CauseSummary(
+        episodes=len(episodes),
+        total_samples=total,
+        by_module=by_module,
+        by_function=by_function,
+    )
+
+
+def diff_summaries(
+    baseline: CauseSummary, perturbed: CauseSummary
+) -> List[Tuple[str, float, float]]:
+    """Per-module sample-share comparison between two runs.
+
+    Returns (module, baseline share, perturbed share) sorted by the growth
+    of the share -- the paper's "the virus scanner causes breakup of low
+    latency audio" signature shows up as a new module dominating the
+    perturbed episodes.
+    """
+    modules = set(baseline.by_module) | set(perturbed.by_module)
+    rows = [
+        (m, baseline.module_share(m), perturbed.module_share(m)) for m in modules
+    ]
+    rows.sort(key=lambda r: -(r[2] - r[1]))
+    return rows

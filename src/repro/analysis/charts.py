@@ -1,0 +1,108 @@
+"""ASCII chart rendering for the paper's figures.
+
+The benchmark harness prints its regenerated figures as text; this module
+renders multi-series line charts on a log y-axis, the shape Figures 6 and 7
+use (MTTF in seconds, log scale, against milliseconds of buffering).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Marker characters assigned to series in order.
+SERIES_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[Tuple[float, Optional[float]]]],
+    width: int = 64,
+    height: int = 18,
+    log_y: bool = True,
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render named (x, y) series as an ASCII chart.
+
+    Args:
+        series: Mapping of series name to (x, y) points; ``y=None`` points
+            (e.g. "no misses observed") are skipped.
+        width/height: Plot area size in characters.
+        log_y: Log-scale the y axis (MTTF plots span 5+ decades).
+
+    Returns:
+        The chart with a legend, ready to print.
+    """
+    points: List[Tuple[float, float, int]] = []
+    names = list(series)
+    for index, name in enumerate(names):
+        for x, y in series[name]:
+            if y is None or (log_y and y <= 0):
+                continue
+            points.append((x, y, index))
+    if not points:
+        return "(no data to plot)"
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if log_y:
+        y_lo_t, y_hi_t = math.log10(y_lo), math.log10(y_hi)
+    else:
+        y_lo_t, y_hi_t = y_lo, y_hi
+    if y_hi_t == y_lo_t:
+        y_hi_t = y_lo_t + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, index in points:
+        col = int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+        y_t = math.log10(y) if log_y else y
+        row = int(round((y_t - y_lo_t) / (y_hi_t - y_lo_t) * (height - 1)))
+        grid[height - 1 - row][col] = SERIES_MARKERS[index % len(SERIES_MARKERS)]
+
+    def y_tick(row: int) -> str:
+        y_t = y_lo_t + (y_hi_t - y_lo_t) * (height - 1 - row) / (height - 1)
+        value = 10**y_t if log_y else y_t
+        return f"{value:10.3g}"
+
+    lines: List[str] = []
+    if y_label:
+        lines.append(y_label)
+    for row in range(height):
+        prefix = y_tick(row) if row % 4 == 0 or row == height - 1 else " " * 10
+        lines.append(f"{prefix} |{''.join(grid[row])}")
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(
+        " " * 11 + f"{x_lo:<10.3g}{' ' * max(0, width - 20)}{x_hi:>10.3g}"
+    )
+    if x_label:
+        lines.append(" " * 11 + x_label)
+    legend = "   ".join(
+        f"{SERIES_MARKERS[i % len(SERIES_MARKERS)]} = {name}" for i, name in enumerate(names)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def mttf_chart(curves: Dict[str, Sequence], title: str = "") -> str:
+    """Figure 6/7-style chart from named MTTF curves.
+
+    Args:
+        curves: Mapping of series name (workload) to a list of
+            :class:`repro.analysis.mttf.MttfPoint`.
+    """
+    series = {
+        name: [(p.buffering_ms, p.mttf_s) for p in points]
+        for name, points in curves.items()
+    }
+    chart = ascii_chart(
+        series,
+        y_label="MTTF to buffer underrun (s, log scale)",
+        x_label="milliseconds of buffering in data transfer mode",
+    )
+    if title:
+        return title + "\n" + chart
+    return chart

@@ -1,0 +1,190 @@
+"""Traditional OS microbenchmarks -- and why they miss the point.
+
+Section 1.2 reviews the microbenchmark tradition (Ousterhout, lmbench,
+hbench:OS): measure the average cost of primitive OS services "over
+thousands of invocations of the OS service on an otherwise unloaded
+system".  The paper's critique is that this measures a *subset* of the
+overhead an application actually experiences, and in particular says
+nothing about the latency tail under load.
+
+This module implements the classic suite against the simulated kernels --
+context-switch time, event signal-to-wake time, DPC dispatch time, timer
+accuracy -- exactly in the lmbench style (averages, warm, unloaded).  The
+punchline, which `benchmarks/test_microbench_critique.py` turns into an
+assertion: the two OSes look nearly identical through this lens while their
+loaded latency distributions differ by orders of magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.stats import DistributionSummary
+from repro.hw.machine import Machine, MachineConfig
+from repro.kernel.boot import boot_os
+from repro.kernel.dpc import Dpc
+from repro.kernel.objects import KEvent
+from repro.kernel.requests import Run, Wait
+
+
+@dataclass(frozen=True)
+class MicrobenchResult:
+    """Average-case costs of primitive services on an unloaded system."""
+
+    os_name: str
+    context_switch_us: DistributionSummary
+    event_wake_us: DistributionSummary
+    dpc_dispatch_us: DistributionSummary
+    timer_error_us: DistributionSummary
+
+    def format(self) -> str:
+        lines = [f"lmbench-style microbenchmarks, {self.os_name} (unloaded, averages):"]
+        for label, summary in (
+            ("context switch", self.context_switch_us),
+            ("event signal->wake", self.event_wake_us),
+            ("DPC dispatch", self.dpc_dispatch_us),
+            ("timer expiry error", self.timer_error_us),
+        ):
+            lines.append(
+                f"  {label:20s} mean {summary.mean:8.2f} us   "
+                f"median {summary.median:8.2f} us   max {summary.maximum:8.2f} us"
+            )
+        return "\n".join(lines)
+
+
+def _measure_context_switch(os, iterations: int) -> List[float]:
+    """Ping-pong between two threads via a pair of events (the lmbench
+    ``lat_ctx`` shape)."""
+    kernel = os.kernel
+    clock = kernel.clock
+    ping = KEvent(synchronization=True, name="ping")
+    pong = KEvent(synchronization=True, name="pong")
+    switch_times: List[float] = []
+    state = {"sent_at": 0}
+
+    def ponger(k, t):
+        while True:
+            yield Wait(ping)
+            switch_times.append(clock.cycles_to_us(k.engine.now - state["sent_at"]))
+            state["sent_at"] = k.engine.now
+            k.set_event(pong)
+
+    def pinger(k, t):
+        for _ in range(iterations):
+            state["sent_at"] = k.engine.now
+            k.set_event(ping)
+            yield Wait(pong)
+            switch_times.append(clock.cycles_to_us(k.engine.now - state["sent_at"]))
+
+    kernel.create_thread("ponger", 9, ponger)
+    kernel.create_thread("pinger", 9, pinger)
+    os.machine.run_for_ms(iterations * 2.0 + 50.0)
+    return switch_times
+
+
+def _measure_event_wake(os, iterations: int) -> List[float]:
+    """Signal-to-first-instruction for a high-priority waiter."""
+    kernel = os.kernel
+    clock = kernel.clock
+    event = KEvent(synchronization=True, name="wake")
+    wakes: List[float] = []
+    state = {"signalled_at": 0}
+
+    def waiter(k, t):
+        while True:
+            yield Wait(event)
+            wakes.append(clock.cycles_to_us(k.engine.now - state["signalled_at"]))
+
+    def signaler(k, t):
+        for _ in range(iterations):
+            yield Run(clock.us_to_cycles(30.0))
+            state["signalled_at"] = k.engine.now
+            k.set_event(event)
+
+    kernel.create_thread("waiter", 28, waiter)
+    kernel.create_thread("signaler", 8, signaler)
+    os.machine.run_for_ms(iterations * 0.1 + 50.0)
+    return wakes
+
+
+def _measure_dpc_dispatch(os, iterations: int) -> List[float]:
+    """Enqueue-to-first-instruction for a DPC queued from a thread."""
+    kernel = os.kernel
+    clock = kernel.clock
+    dispatches: List[float] = []
+    state = {"queued_at": 0}
+
+    def routine(k, dpc):
+        dispatches.append(clock.cycles_to_us(k.engine.now - state["queued_at"]))
+        yield Run(10)
+
+    dpc = Dpc(routine, name="_MicrobenchDpc")
+
+    def driver_thread(k, t):
+        for _ in range(iterations):
+            state["queued_at"] = k.engine.now
+            k.queue_dpc(dpc)
+            yield Run(clock.us_to_cycles(40.0))
+
+    kernel.create_thread("driver", 8, driver_thread)
+    os.machine.run_for_ms(iterations * 0.1 + 50.0)
+    return dispatches
+
+
+def _measure_timer_error(os, iterations: int, due_ms: float = 2.0) -> List[float]:
+    """Requested-vs-actual expiry error for kernel timers (PIT quantised)."""
+    kernel = os.kernel
+    clock = kernel.clock
+    from repro.kernel.objects import KTimer
+
+    errors: List[float] = []
+
+    def body(k, t):
+        timer = KTimer(name="mb")
+        for _ in range(iterations):
+            armed_at = k.engine.now
+            k.set_timer(timer, due_ms)
+            yield Wait(timer)
+            actual_ms = clock.cycles_to_ms(k.engine.now - armed_at)
+            errors.append((actual_ms - due_ms) * 1000.0)
+
+    kernel.create_thread("timerbench", 16, body)
+    os.machine.run_for_ms(iterations * (due_ms + 2.0) + 50.0)
+    return errors
+
+
+def run_microbench_suite(
+    os_name: str, iterations: int = 400, seed: int = 1999, pit_hz: float = 1000.0
+) -> MicrobenchResult:
+    """The full unloaded-average suite against one OS personality.
+
+    Each primitive gets a fresh machine so measurements cannot interfere
+    (the warm-cache, isolated style the paper describes).
+    """
+
+    def fresh():
+        machine = Machine(MachineConfig(pit_hz=pit_hz), seed=seed)
+        return boot_os(machine, os_name, baseline_load=False)
+
+    context_switch = _measure_context_switch(fresh(), iterations)
+    event_wake = _measure_event_wake(fresh(), iterations)
+    dpc_dispatch = _measure_dpc_dispatch(fresh(), iterations)
+    timer_error = _measure_timer_error(fresh(), max(50, iterations // 4))
+    return MicrobenchResult(
+        os_name=os_name,
+        context_switch_us=DistributionSummary.from_values(context_switch),
+        event_wake_us=DistributionSummary.from_values(event_wake),
+        dpc_dispatch_us=DistributionSummary.from_values(dpc_dispatch),
+        timer_error_us=DistributionSummary.from_values(timer_error),
+    )
+
+
+def compare_microbenchmarks(
+    iterations: int = 400, seed: int = 1999
+) -> Dict[str, MicrobenchResult]:
+    """Run the suite on both of the paper's OSes."""
+    return {
+        os_name: run_microbench_suite(os_name, iterations=iterations, seed=seed)
+        for os_name in ("nt4", "win98")
+    }

@@ -1,0 +1,149 @@
+"""Mean time to buffer underrun for the soft-modem datapump (section 5.1).
+
+The paper derives Figures 6 and 7 from the measured latency tables: "The
+plots are derived from our tables of latency data by calculating the slack
+time for each amount of buffering (i.e., t*(n-1) - c ...).  This number is
+used to index into the latency table to determine the frequency with which
+such latencies occur, and this frequency is divided by an approximation of
+the cycle time (for simplicity, (n-1)*t)."
+
+In symbols, for total buffering B = (n-1) * t and per-buffer compute c:
+
+    slack  s = B - c
+    p_miss   = P(latency > s)          (from the measured distribution)
+    MTTF     = B / p_miss              (one exposure per B milliseconds)
+
+Figure 6 uses the Windows 98 **DPC interrupt latency** distribution (a
+DPC-based datapump's exposure); Figure 7 the **thread (interrupt) latency**
+of a high real-time priority thread.  The calculation "is strictly accurate
+only for double buffered implementations but is reasonably accurate if n is
+small."
+
+Because the simulator's workload calibration is time-compressed (see
+:mod:`repro.core.worst_case`), per-sample exceedance probabilities are
+``time_compression`` times higher than real-use ones; the MTTF conversion
+divides that back out so the curves read in real seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.stats import exceedance_fraction, fit_pareto_tail
+from repro.core.worst_case import DEFAULT_TIME_COMPRESSION
+
+#: Figure 6/7's x-axis: milliseconds of buffering in data transfer mode.
+FIGURE6_BUFFERING_MS = tuple(range(4, 68, 4))
+
+
+@dataclass(frozen=True)
+class MttfPoint:
+    """One point of an MTTF curve."""
+
+    buffering_ms: float
+    slack_ms: float
+    p_miss: float
+    mttf_s: Optional[float]  # None = no miss observed or extrapolated
+
+    def format(self) -> str:
+        if self.mttf_s is None:
+            return f"B={self.buffering_ms:5.1f} ms  slack={self.slack_ms:5.1f}  no misses"
+        return (
+            f"B={self.buffering_ms:5.1f} ms  slack={self.slack_ms:5.1f}  "
+            f"p={self.p_miss:.3g}  MTTF={self.mttf_s:.1f} s"
+        )
+
+
+def miss_probability(
+    sorted_latencies_ms: Sequence[float],
+    slack_ms: float,
+    use_tail_fit: bool = True,
+) -> float:
+    """P(latency > slack), extending past the sample with a tail fit.
+
+    The empirical exceedance is exact inside the observed range; beyond the
+    sample maximum a fitted Pareto tail (when available) supplies the
+    rare-event probability, otherwise 0.
+    """
+    if not sorted_latencies_ms:
+        raise ValueError("no latency data")
+    empirical = exceedance_fraction(sorted_latencies_ms, slack_ms)
+    if empirical > 0.0:
+        return empirical
+    if not use_tail_fit:
+        return 0.0
+    fit = fit_pareto_tail(sorted_latencies_ms)
+    if fit is None or slack_ms <= fit.threshold:
+        return 0.0
+    # Never report more probability than "less than one sample's worth".
+    return min(fit.ccdf(slack_ms), 1.0 / len(sorted_latencies_ms))
+
+
+def mttf_for_buffering(
+    latencies_ms: Sequence[float],
+    buffering_ms: float,
+    compute_ms: float,
+    time_compression: float = DEFAULT_TIME_COMPRESSION,
+) -> MttfPoint:
+    """MTTF for one amount of total buffering B.
+
+    Args:
+        latencies_ms: The measured latency distribution for the datapump's
+            modality (DPC interrupt latency or thread interrupt latency).
+        buffering_ms: Total buffering B = (n-1) * t.
+        compute_ms: Per-buffer compute time c.
+        time_compression: The workload calibration's compression factor.
+    """
+    if buffering_ms <= compute_ms:
+        # No slack at all: every cycle misses.
+        return MttfPoint(buffering_ms, buffering_ms - compute_ms, 1.0, buffering_ms / 1000.0)
+    data = sorted(latencies_ms)
+    slack = buffering_ms - compute_ms
+    p_compressed = miss_probability(data, slack)
+    p_real = p_compressed / time_compression
+    if p_real <= 0.0:
+        return MttfPoint(buffering_ms, slack, 0.0, None)
+    mttf_s = buffering_ms / p_real / 1000.0
+    return MttfPoint(buffering_ms, slack, p_real, mttf_s)
+
+
+def mttf_curve(
+    latencies_ms: Sequence[float],
+    compute_ms: float = 2.0,
+    buffering_ms: Sequence[float] = FIGURE6_BUFFERING_MS,
+    time_compression: float = DEFAULT_TIME_COMPRESSION,
+) -> List[MttfPoint]:
+    """A full Figure 6/7 curve.
+
+    Args:
+        compute_ms: Per-buffer datapump compute time; the paper's soft
+            modem needs 1-4 ms (25 % of a 4-16 ms cycle) on the 300 MHz
+            testbed -- 2 ms is the mid-range default.
+    """
+    data = sorted(latencies_ms)
+    return [
+        mttf_for_buffering(data, b, compute_ms, time_compression=time_compression)
+        for b in buffering_ms
+    ]
+
+
+def buffering_needed_for_mttf(
+    latencies_ms: Sequence[float],
+    target_mttf_s: float,
+    compute_ms: float = 2.0,
+    buffering_ms: Sequence[float] = FIGURE6_BUFFERING_MS,
+    time_compression: float = DEFAULT_TIME_COMPRESSION,
+) -> Optional[float]:
+    """Smallest swept buffering whose MTTF meets the target.
+
+    The paper's reading of Figure 6: "with 10 millisecond buffers triple
+    buffered (20 ms of buffering) the Windows 98 DPC-based datapump would
+    average an hour between misses."
+    """
+    for point in mttf_curve(
+        latencies_ms, compute_ms, buffering_ms, time_compression=time_compression
+    ):
+        if point.mttf_s is None or point.mttf_s >= target_mttf_s:
+            return point.buffering_ms
+    return None

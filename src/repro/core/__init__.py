@@ -1,0 +1,33 @@
+"""The paper's primary contribution: latency-distribution methodology.
+
+This package holds the measurement methodology itself -- the pair of
+complementary microbenchmark metrics (interrupt latency and thread latency)
+assessed as *distributions on a loaded system*:
+
+* :mod:`repro.core.samples` -- raw per-event timestamp records and derived
+  latency kinds (Figure 1/2/3 definitions).
+* :mod:`repro.core.histogram` -- the log-log "percent of samples" histograms
+  of Figure 4.
+* :mod:`repro.core.worst_case` -- expected hourly/daily/weekly worst cases
+  (Table 3), including tail extrapolation for runs shorter than the paper's
+  multi-hour collections.
+* :mod:`repro.core.experiment` -- the measurement campaign runner that
+  boots an OS, applies a workload, runs the latency tool and returns a
+  :class:`~repro.core.samples.SampleSet`.
+* :mod:`repro.core.report` -- OS-vs-OS comparison summaries (section 4's
+  conclusions as data).
+"""
+
+from repro.core.histogram import LatencyHistogram, LOG2_BUCKETS_MS
+from repro.core.samples import LatencyKind, RawSample, SampleSet
+from repro.core.worst_case import WorstCaseEstimator, WorstCaseTable
+
+__all__ = [
+    "LOG2_BUCKETS_MS",
+    "LatencyHistogram",
+    "LatencyKind",
+    "RawSample",
+    "SampleSet",
+    "WorstCaseEstimator",
+    "WorstCaseTable",
+]

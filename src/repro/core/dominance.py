@@ -1,0 +1,91 @@
+"""Distribution comparison: stochastic dominance and KS distance.
+
+Section 4's claims are comparisons of whole distributions ("service at
+least one order of magnitude better"), not of means.  This module gives the
+comparisons quantitative teeth:
+
+* :func:`ks_statistic` -- the Kolmogorov-Smirnov distance between two
+  latency samples (how different the distributions are);
+* :func:`dominance_fraction` -- the share of quantiles at which one series
+  beats the other (1.0 = first-order stochastic dominance);
+* :func:`quantile_ratio_profile` -- the per-quantile ratio curve, the
+  precise form of "an order of magnitude better at the tail".
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.stats import percentile
+
+
+def ks_statistic(a: Sequence[float], b: Sequence[float]) -> float:
+    """Two-sample Kolmogorov-Smirnov statistic (sup |F_a - F_b|)."""
+    if not a or not b:
+        raise ValueError("need non-empty samples")
+    xs = sorted(a)
+    ys = sorted(b)
+    i = j = 0
+    d = 0.0
+    while i < len(xs) and j < len(ys):
+        if xs[i] < ys[j]:
+            i += 1
+        elif ys[j] < xs[i]:
+            j += 1
+        else:
+            # Tie: step both CDFs past the shared value together.
+            value = xs[i]
+            while i < len(xs) and xs[i] == value:
+                i += 1
+            while j < len(ys) and ys[j] == value:
+                j += 1
+        d = max(d, abs(i / len(xs) - j / len(ys)))
+    return d
+
+
+def dominance_fraction(
+    better: Sequence[float],
+    worse: Sequence[float],
+    quantiles: Sequence[float] = tuple(q / 100.0 for q in range(1, 100)),
+) -> float:
+    """Fraction of quantiles where ``better``'s latency <= ``worse``'s.
+
+    1.0 means ``better`` (first-order) stochastically dominates: *every*
+    percentile of its latency distribution is at least as good.
+    """
+    if not better or not worse:
+        raise ValueError("need non-empty samples")
+    b = sorted(better)
+    w = sorted(worse)
+    wins = sum(1 for q in quantiles if percentile(b, q) <= percentile(w, q))
+    return wins / len(quantiles)
+
+
+def quantile_ratio_profile(
+    numerator: Sequence[float],
+    denominator: Sequence[float],
+    quantiles: Sequence[float] = (0.5, 0.9, 0.99, 0.999, 1.0),
+) -> List[Tuple[float, float]]:
+    """Per-quantile latency ratios (numerator / denominator).
+
+    The paper's "order of magnitude" statements are exactly this profile's
+    tail entries.
+    """
+    if not numerator or not denominator:
+        raise ValueError("need non-empty samples")
+    n = sorted(numerator)
+    d = sorted(denominator)
+    out: List[Tuple[float, float]] = []
+    for q in quantiles:
+        denominator_value = percentile(d, q)
+        if denominator_value <= 0:
+            continue
+        out.append((q, percentile(n, q) / denominator_value))
+    return out
+
+
+def format_ratio_profile(profile: Sequence[Tuple[float, float]], label: str = "") -> str:
+    rows = [label] if label else []
+    for q, ratio in profile:
+        rows.append(f"  p{q * 100:6.2f}: {ratio:8.1f}x")
+    return "\n".join(rows)

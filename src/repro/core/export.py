@@ -1,0 +1,162 @@
+"""Exporting measurement data for external analysis.
+
+A downstream user will want the raw distributions in their own plotting
+stack; this module serialises :class:`~repro.core.samples.SampleSet`
+objects to CSV and JSON (and loads them back), preserving everything needed
+to recompute any figure offline.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Optional
+
+from repro.core.samples import RawSample, SampleSet
+from repro.sim.clock import CpuClock
+
+#: CSV column order for raw samples.
+CSV_FIELDS = (
+    "seq",
+    "priority",
+    "t_read",
+    "delay_cycles",
+    "t_assert",
+    "t_isr",
+    "t_dpc",
+    "t_thread",
+)
+
+
+def sample_set_to_csv(sample_set: SampleSet) -> str:
+    """Serialise raw samples as CSV (one row per measurement cycle).
+
+    Times are raw TSC cycle values; a ``# header`` comment row carries the
+    metadata needed to interpret them.
+    """
+    buffer = io.StringIO()
+    buffer.write(
+        f"# os={sample_set.os_name} workload={sample_set.workload} "
+        f"duration_s={sample_set.duration_s} cpu_hz={sample_set.clock.hz}\n"
+    )
+    writer = csv.writer(buffer)
+    writer.writerow(CSV_FIELDS)
+    for sample in sample_set.samples:
+        writer.writerow(
+            [
+                sample.seq,
+                sample.priority,
+                sample.t_read,
+                sample.delay_cycles,
+                _blank_if_none(sample.t_assert),
+                _blank_if_none(sample.t_isr),
+                _blank_if_none(sample.t_dpc),
+                _blank_if_none(sample.t_thread),
+            ]
+        )
+    return buffer.getvalue()
+
+
+def _blank_if_none(value: Optional[int]) -> str:
+    return "" if value is None else str(value)
+
+
+def _none_if_blank(value: str) -> Optional[int]:
+    return None if value == "" else int(value)
+
+
+def sample_set_from_csv(text: str) -> SampleSet:
+    """Inverse of :func:`sample_set_to_csv`."""
+    lines = text.splitlines()
+    if not lines or not lines[0].startswith("#"):
+        raise ValueError("missing metadata header row")
+    metadata: Dict[str, str] = {}
+    for token in lines[0].lstrip("# ").split():
+        key, _, value = token.partition("=")
+        metadata[key] = value
+    clock = CpuClock(hz=int(metadata["cpu_hz"]))
+    sample_set = SampleSet(
+        clock=clock,
+        os_name=metadata["os"],
+        workload=metadata["workload"],
+        duration_s=float(metadata["duration_s"]),
+    )
+    reader = csv.DictReader(io.StringIO("\n".join(lines[1:])))
+    for row in reader:
+        sample_set.add(
+            RawSample(
+                seq=int(row["seq"]),
+                priority=int(row["priority"]),
+                t_read=int(row["t_read"]),
+                delay_cycles=int(row["delay_cycles"]),
+                t_assert=_none_if_blank(row["t_assert"]),
+                t_isr=_none_if_blank(row["t_isr"]),
+                t_dpc=_none_if_blank(row["t_dpc"]),
+                t_thread=_none_if_blank(row["t_thread"]),
+            )
+        )
+    return sample_set
+
+
+def sample_set_to_json(sample_set: SampleSet, indent: Optional[int] = None) -> str:
+    """Serialise as JSON with metadata and per-sample records."""
+    payload = {
+        "schema": "repro.sample_set/1",
+        "os": sample_set.os_name,
+        "workload": sample_set.workload,
+        "duration_s": sample_set.duration_s,
+        "cpu_hz": sample_set.clock.hz,
+        "samples": [
+            {
+                "seq": s.seq,
+                "priority": s.priority,
+                "t_read": s.t_read,
+                "delay_cycles": s.delay_cycles,
+                "t_assert": s.t_assert,
+                "t_isr": s.t_isr,
+                "t_dpc": s.t_dpc,
+                "t_thread": s.t_thread,
+            }
+            for s in sample_set.samples
+        ],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def sample_set_from_json(text: str) -> SampleSet:
+    """Inverse of :func:`sample_set_to_json`."""
+    payload = json.loads(text)
+    if payload.get("schema") != "repro.sample_set/1":
+        raise ValueError(f"unknown schema {payload.get('schema')!r}")
+    sample_set = SampleSet(
+        clock=CpuClock(hz=payload["cpu_hz"]),
+        os_name=payload["os"],
+        workload=payload["workload"],
+        duration_s=payload["duration_s"],
+    )
+    for record in payload["samples"]:
+        sample_set.add(RawSample(**record))
+    return sample_set
+
+
+def latencies_to_csv(sample_set: SampleSet) -> str:
+    """Derived view: one row per cycle with every latency kind in ms.
+
+    The convenient spreadsheet form (empty cells where a kind is not
+    measurable for that run).
+    """
+    from repro.core.samples import LatencyKind
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    kinds = list(LatencyKind)
+    writer.writerow(["seq", "priority"] + [k.value + "_ms" for k in kinds])
+    to_ms = sample_set.clock.cycles_to_ms
+    for sample in sample_set.samples:
+        row: List[object] = [sample.seq, sample.priority]
+        for kind in kinds:
+            cycles = sample.latency_cycles(kind)
+            row.append(f"{to_ms(cycles):.6f}" if cycles is not None else "")
+        writer.writerow(row)
+    return buffer.getvalue()

@@ -1,0 +1,152 @@
+"""Log-scale latency histograms (the Figure 4 representation).
+
+The paper plots latency distributions as log-log histograms: power-of-two
+millisecond buckets on the x-axis (0.125 ms ... 128 ms) and "percent of
+samples" on a log y-axis down to 0.0001 %.  :class:`LatencyHistogram`
+reproduces that view and can render itself as the text analogue of a
+Figure 4 panel.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+#: Figure 4's bucket edges in milliseconds: 2**-3 .. 2**7.
+LOG2_BUCKETS_MS: Tuple[float, ...] = tuple(2.0 ** k for k in range(-3, 8))
+
+
+class LatencyHistogram:
+    """Histogram over logarithmic latency buckets.
+
+    Bucket *i* counts samples with ``edges[i-1] < x <= edges[i]`` (bucket 0
+    counts everything at or below the first edge; an overflow bucket counts
+    everything above the last edge).
+    """
+
+    def __init__(self, edges_ms: Sequence[float] = LOG2_BUCKETS_MS):
+        if len(edges_ms) < 2:
+            raise ValueError("need at least two bucket edges")
+        if list(edges_ms) != sorted(edges_ms):
+            raise ValueError("bucket edges must be ascending")
+        self.edges_ms: Tuple[float, ...] = tuple(float(e) for e in edges_ms)
+        self.counts: List[int] = [0] * (len(self.edges_ms) + 1)
+        self.total = 0
+        self.max_ms = 0.0
+
+    @classmethod
+    def from_values(
+        cls, values_ms: Sequence[float], edges_ms: Sequence[float] = LOG2_BUCKETS_MS
+    ) -> "LatencyHistogram":
+        histogram = cls(edges_ms)
+        for value in values_ms:
+            histogram.add(value)
+        return histogram
+
+    def add(self, value_ms: float) -> None:
+        self.total += 1
+        if value_ms > self.max_ms:
+            self.max_ms = value_ms
+        edges = self.edges_ms
+        # Binary search for the first edge >= value.
+        lo, hi = 0, len(edges)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if edges[mid] < value_ms:
+                lo = mid + 1
+            else:
+                hi = mid
+        self.counts[lo] += 1
+
+    # ------------------------------------------------------------------
+    # Figure 4 series
+    # ------------------------------------------------------------------
+    def percent_in_buckets(self) -> List[Tuple[float, float]]:
+        """(bucket upper edge ms, percent of samples in bucket) pairs.
+
+        The overflow bucket is reported against ``inf``.
+        """
+        if self.total == 0:
+            return []
+        out: List[Tuple[float, float]] = []
+        for i, edge in enumerate(self.edges_ms):
+            out.append((edge, 100.0 * self.counts[i] / self.total))
+        out.append((math.inf, 100.0 * self.counts[-1] / self.total))
+        return out
+
+    def percent_exceeding(self, threshold_ms: float) -> float:
+        """Percent of samples strictly above ``threshold_ms`` bucket-wise.
+
+        Exact when ``threshold_ms`` is a bucket edge; otherwise counts all
+        buckets whose lower edge is at or above the threshold.
+        """
+        if self.total == 0:
+            return 0.0
+        exceeding = self.counts[-1]
+        for i, edge in enumerate(self.edges_ms):
+            if edge > threshold_ms:
+                exceeding += self.counts[i]
+        return 100.0 * exceeding / self.total
+
+    def nonzero_buckets(self) -> List[Tuple[float, float]]:
+        """The plotted points: buckets that actually have samples."""
+        return [(edge, pct) for edge, pct in self.percent_in_buckets() if pct > 0.0]
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self, title: str = "", width: int = 50) -> str:
+        """Text rendering of a Figure 4 panel (log-log, '#' bars).
+
+        Bar length is proportional to log10(percent), floored at the
+        paper's 0.0001 % axis bottom.
+        """
+        lines: List[str] = []
+        if title:
+            lines.append(title)
+        lines.append(f"{'latency <= (ms)':>16s} | percent of samples")
+        floor = 1e-4
+        span = math.log10(100.0) - math.log10(floor)
+        for edge, pct in self.percent_in_buckets():
+            label = "overflow" if math.isinf(edge) else f"{edge:g}"
+            if pct <= 0.0:
+                bar = ""
+                text = "-"
+            else:
+                clipped = max(pct, floor)
+                frac = (math.log10(clipped) - math.log10(floor)) / span
+                bar = "#" * max(1, int(round(frac * width)))
+                text = f"{pct:.4f}%"
+            lines.append(f"{label:>16s} | {bar} {text}")
+        lines.append(f"{'':>16s}   total={self.total} max={self.max_ms:.3f} ms")
+        return "\n".join(lines)
+
+
+def merge_histograms(histograms: Sequence[LatencyHistogram]) -> LatencyHistogram:
+    """Combine histograms with identical bucket edges."""
+    if not histograms:
+        raise ValueError("nothing to merge")
+    edges = histograms[0].edges_ms
+    merged = LatencyHistogram(edges)
+    for histogram in histograms:
+        if histogram.edges_ms != edges:
+            raise ValueError("histograms have different bucket edges")
+        for i, count in enumerate(histogram.counts):
+            merged.counts[i] += count
+        merged.total += histogram.total
+        merged.max_ms = max(merged.max_ms, histogram.max_ms)
+    return merged
+
+
+def compare_tail_weight(
+    a: LatencyHistogram, b: LatencyHistogram, threshold_ms: float
+) -> Optional[float]:
+    """Ratio of the two distributions' exceedance of ``threshold_ms``.
+
+    Returns ``None`` when ``b`` has no mass above the threshold (the ratio
+    would be infinite) -- callers treat that as "a is categorically worse".
+    """
+    pb = b.percent_exceeding(threshold_ms)
+    if pb <= 0.0:
+        return None
+    return a.percent_exceeding(threshold_ms) / pb

@@ -1,0 +1,118 @@
+"""Multi-seed replication: how stable are the measured worst cases?
+
+The paper runs each workload once, for hours.  The simulator can instead
+replicate a shorter campaign across independent seeds and report the
+spread of each Table 3 cell -- the error bars the original methodology
+could not afford.  This is both a robustness tool for our own calibration
+and a feature a downstream user of the library needs before trusting any
+single-run number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.experiment import ExperimentConfig, run_latency_experiment
+from repro.core.samples import LatencyKind, SampleSet
+from repro.core.stats import percentile
+from repro.core.worst_case import WorstCaseTable
+
+
+@dataclass(frozen=True)
+class CellStatistics:
+    """Replication statistics for one (kind, priority, horizon) cell."""
+
+    kind: LatencyKind
+    priority: Optional[int]
+    horizon: str  # "hour" | "day" | "week"
+    values_ms: Tuple[float, ...]
+
+    @property
+    def median(self) -> float:
+        return percentile(sorted(self.values_ms), 0.5)
+
+    @property
+    def spread(self) -> Tuple[float, float]:
+        """The (10th, 90th) percentile band across replicas."""
+        data = sorted(self.values_ms)
+        return (percentile(data, 0.1), percentile(data, 0.9))
+
+    @property
+    def relative_spread(self) -> float:
+        """(p90 - p10) / median; the cell's run-to-run noise."""
+        lo, hi = self.spread
+        if self.median <= 0:
+            return 0.0
+        return (hi - lo) / self.median
+
+    def format(self) -> str:
+        lo, hi = self.spread
+        label = f"{self.kind.value}/{self.priority}/{self.horizon}"
+        return (
+            f"{label:44s} median {self.median:8.2f} ms   "
+            f"[{lo:7.2f}, {hi:7.2f}]   noise {self.relative_spread:5.1%}"
+        )
+
+
+@dataclass
+class ReplicatedCampaign:
+    """Results of running one experiment cell across many seeds."""
+
+    base_config: ExperimentConfig
+    sample_sets: List[SampleSet]
+    cells: Dict[Tuple[LatencyKind, Optional[int], str], CellStatistics]
+
+    @property
+    def replicas(self) -> int:
+        return len(self.sample_sets)
+
+    def cell(
+        self, kind: LatencyKind, priority: Optional[int], horizon: str
+    ) -> Optional[CellStatistics]:
+        return self.cells.get((kind, priority, horizon))
+
+    def format(self) -> str:
+        header = (
+            f"Replication of {self.base_config.os_name}/{self.base_config.workload} "
+            f"x{self.replicas} seeds, {self.base_config.duration_s:.0f} s each"
+        )
+        return "\n".join([header] + [c.format() for c in self.cells.values()])
+
+    def pooled_sample_set(self) -> SampleSet:
+        """All replicas merged (the 'one long run' equivalent)."""
+        pooled = self.sample_sets[0]
+        for other in self.sample_sets[1:]:
+            pooled = pooled.merged_with(other)
+        return pooled
+
+
+def replicate_experiment(
+    base_config: ExperimentConfig,
+    seeds: Sequence[int],
+) -> ReplicatedCampaign:
+    """Run the same campaign under each seed and aggregate the cells."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    sample_sets: List[SampleSet] = []
+    per_cell: Dict[Tuple[LatencyKind, Optional[int], str], List[float]] = {}
+    for seed in seeds:
+        result = run_latency_experiment(base_config.with_overrides(seed=seed))
+        sample_sets.append(result.sample_set)
+        table = WorstCaseTable(result.sample_set)
+        for row in table.rows:
+            for horizon, value in (
+                ("hour", row.max_per_hour_ms),
+                ("day", row.max_per_day_ms),
+                ("week", row.max_per_week_ms),
+            ):
+                per_cell.setdefault((row.kind, row.priority, horizon), []).append(value)
+    cells = {
+        key: CellStatistics(
+            kind=key[0], priority=key[1], horizon=key[2], values_ms=tuple(values)
+        )
+        for key, values in per_cell.items()
+    }
+    return ReplicatedCampaign(
+        base_config=base_config, sample_sets=sample_sets, cells=cells
+    )

@@ -1,0 +1,168 @@
+"""OS-versus-OS comparison reports (section 4's conclusions as data).
+
+The paper's headline claims, each expressed here as a computable ratio over
+two :class:`~repro.core.samples.SampleSet` objects:
+
+1. "NT real-time high priority threads and DPCs exhibit worst-case
+   latencies which are an order of magnitude lower than those of Windows 98
+   DPCs and Windows NT real-time default priority threads."
+2. "A driver on Windows NT 4.0 that uses high, real-time priority threads
+   receives service one order of magnitude better than a WDM driver on
+   Windows 98 which uses DPCs."
+3. "For NT 4.0 there is almost no distinction between DPC latencies and
+   thread latencies for threads at high real-time priority."
+4. "For Windows 98 ... an order of magnitude reduction in worst-case
+   latencies ... by using WDM DPCs as opposed to real-time priority kernel
+   mode threads."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.samples import LatencyKind, SampleSet
+from repro.core.worst_case import DEFAULT_TIME_COMPRESSION, WorstCaseEstimator
+
+
+def _weekly_worst(
+    sample_set: SampleSet,
+    kind: LatencyKind,
+    priority: Optional[int],
+    time_compression: float,
+) -> float:
+    from repro.core.worst_case import usage_pattern_for
+
+    values = sample_set.latencies_ms(kind, priority=priority)
+    if not values:
+        raise ValueError(f"no {kind.value} data in {sample_set!r}")
+    estimator = WorstCaseEstimator(values, sample_set.duration_s)
+    pattern = usage_pattern_for(sample_set.workload)
+    return estimator.expected_max(pattern.week_seconds / time_compression)
+
+
+@dataclass
+class ServiceQuality:
+    """Weekly worst-case latency of each WDM service on one OS."""
+
+    os_name: str
+    workload: str
+    dpc_interrupt_ms: float
+    thread_high_ms: float  # priority 28, DPC -> thread
+    thread_default_ms: float  # priority 24, DPC -> thread
+
+    @classmethod
+    def from_sample_set(
+        cls,
+        sample_set: SampleSet,
+        time_compression: float = DEFAULT_TIME_COMPRESSION,
+        high_priority: int = 28,
+        default_priority: int = 24,
+    ) -> "ServiceQuality":
+        return cls(
+            os_name=sample_set.os_name,
+            workload=sample_set.workload,
+            dpc_interrupt_ms=_weekly_worst(
+                sample_set, LatencyKind.DPC_INTERRUPT, None, time_compression
+            ),
+            thread_high_ms=_weekly_worst(
+                sample_set, LatencyKind.THREAD, high_priority, time_compression
+            ),
+            thread_default_ms=_weekly_worst(
+                sample_set, LatencyKind.THREAD, default_priority, time_compression
+            ),
+        )
+
+
+@dataclass
+class OsComparison:
+    """The paper's section 4 ratios for one workload."""
+
+    nt4: ServiceQuality
+    win98: ServiceQuality
+
+    def __post_init__(self):
+        if self.nt4.workload != self.win98.workload:
+            raise ValueError("comparing different workloads")
+
+    # -- the paper's claims as numbers ---------------------------------
+    @property
+    def nt_dpc_advantage_over_98_dpc(self) -> float:
+        """Claim 1: Win98 DPC worst case / NT DPC worst case."""
+        return self.win98.dpc_interrupt_ms / self.nt4.dpc_interrupt_ms
+
+    @property
+    def nt_high_thread_advantage_over_98_dpc(self) -> float:
+        """Claim 2: Win98 DPC worst case / NT priority-28 thread worst case."""
+        return self.win98.dpc_interrupt_ms / self.nt4.thread_high_ms
+
+    @property
+    def nt_thread_dpc_gap(self) -> float:
+        """Claim 3: NT priority-28 thread / NT DPC (should be ~1)."""
+        return self.nt4.thread_high_ms / self.nt4.dpc_interrupt_ms
+
+    @property
+    def win98_dpc_advantage_over_own_threads(self) -> float:
+        """Claim 4: Win98 thread worst case / Win98 DPC worst case."""
+        return self.win98.thread_high_ms / self.win98.dpc_interrupt_ms
+
+    @property
+    def nt_default_thread_penalty(self) -> float:
+        """NT priority-24 / priority-28 thread worst case (work items)."""
+        return self.nt4.thread_default_ms / self.nt4.thread_high_ms
+
+    def format(self) -> str:
+        lines = [
+            f"Workload: {self.nt4.workload} (weekly worst cases, ms)",
+            f"  {'service':34s} {'NT 4.0':>10s} {'Win 98':>10s}",
+            f"  {'DPC interrupt latency':34s} {self.nt4.dpc_interrupt_ms:10.2f} "
+            f"{self.win98.dpc_interrupt_ms:10.2f}",
+            f"  {'thread latency (RT prio 28)':34s} {self.nt4.thread_high_ms:10.2f} "
+            f"{self.win98.thread_high_ms:10.2f}",
+            f"  {'thread latency (RT prio 24)':34s} {self.nt4.thread_default_ms:10.2f} "
+            f"{self.win98.thread_default_ms:10.2f}",
+            "  ratios:",
+            f"    Win98 DPC / NT DPC            = {self.nt_dpc_advantage_over_98_dpc:6.1f}x",
+            f"    Win98 DPC / NT hi-prio thread = "
+            f"{self.nt_high_thread_advantage_over_98_dpc:6.1f}x",
+            f"    NT hi-prio thread / NT DPC    = {self.nt_thread_dpc_gap:6.2f}x",
+            f"    Win98 thread / Win98 DPC      = "
+            f"{self.win98_dpc_advantage_over_own_threads:6.1f}x",
+            f"    NT prio-24 / prio-28 thread   = {self.nt_default_thread_penalty:6.1f}x",
+        ]
+        return "\n".join(lines)
+
+
+def compare_sample_sets(nt4: SampleSet, win98: SampleSet) -> OsComparison:
+    """Build the section 4 comparison from two runs of the same workload."""
+    return OsComparison(
+        nt4=ServiceQuality.from_sample_set(nt4),
+        win98=ServiceQuality.from_sample_set(win98),
+    )
+
+
+def format_figure4_panel(sample_set: SampleSet, kind: LatencyKind, priority=None) -> str:
+    """Render one Figure 4 panel as a text log-log histogram."""
+    from repro.core.histogram import LatencyHistogram
+
+    values = sample_set.latencies_ms(kind, priority=priority)
+    histogram = LatencyHistogram.from_values(values)
+    suffix = f" (priority {priority})" if priority is not None else ""
+    title = (
+        f"{sample_set.os_name} {kind.value}{suffix} under {sample_set.workload} "
+        f"({len(values)} samples)"
+    )
+    return histogram.render(title=title)
+
+
+def format_figure4_grid(results: dict) -> List[str]:
+    """Render the full Figure 4 grid from a run_matrix result dict."""
+    panels: List[str] = []
+    for (os_name, workload), result in sorted(results.items()):
+        sample_set = result.sample_set
+        kinds = [(LatencyKind.DPC_INTERRUPT, None), (LatencyKind.THREAD, 28), (LatencyKind.THREAD, 24)]
+        if os_name == "win98":
+            kinds.insert(0, (LatencyKind.ISR, None))
+        for kind, priority in kinds:
+            panels.append(format_figure4_panel(sample_set, kind, priority))
+    return panels

@@ -1,0 +1,232 @@
+"""Raw latency samples and the derived latency kinds.
+
+Section 2.1 of the paper defines the metrics (see Figures 1-3):
+
+* **interrupt latency** -- hardware interrupt assertion to the first
+  instruction of the software ISR;
+* **DPC latency** -- ISR enqueues the DPC to the DPC's first instruction;
+* **DPC interrupt latency** -- their sum (hardware interrupt to DPC);
+* **thread latency** -- ISR/DPC signals a waiting thread to the thread's
+  first instruction after the wait;
+* **thread interrupt latency** -- hardware interrupt to the thread.
+
+Each measurement cycle of the tool yields one :class:`RawSample` carrying
+the TSC timestamps taken at the points Figure 3 marks.  The measured
+quantities follow the paper's arithmetic: the hardware interrupt timestamp
+is *estimated* as (read-time TSC + programmed delay), giving the +/- one
+PIT period resolution the paper accepts; the simulator additionally records
+the ground-truth assertion time so the estimation error itself can be
+studied.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.sim.clock import CpuClock
+
+
+class LatencyKind(enum.Enum):
+    """The five latency metrics of section 2.1."""
+
+    ISR = "isr_latency"
+    DPC = "dpc_latency"
+    DPC_INTERRUPT = "dpc_interrupt_latency"
+    THREAD = "thread_latency"
+    THREAD_INTERRUPT = "thread_interrupt_latency"
+
+    @property
+    def description(self) -> str:
+        return _KIND_DESCRIPTIONS[self]
+
+
+_KIND_DESCRIPTIONS = {
+    LatencyKind.ISR: "H/W interrupt assertion to first ISR instruction",
+    LatencyKind.DPC: "ISR DPC enqueue to first DPC instruction",
+    LatencyKind.DPC_INTERRUPT: "H/W interrupt assertion to first DPC instruction",
+    LatencyKind.THREAD: "DPC signal to first thread instruction after wait",
+    LatencyKind.THREAD_INTERRUPT: "H/W interrupt assertion to thread execution",
+}
+
+
+@dataclass
+class RawSample:
+    """Timestamps (TSC cycles) from one measurement cycle (Figure 3).
+
+    Attributes:
+        seq: Cycle number within the run.
+        priority: Win32 priority of the signalled measurement thread.
+        t_read: TSC in the driver's I/O read routine, just before
+            ``KeSetTimer`` (``ASB[0]``).
+        delay_cycles: The programmed timer delay, in cycles.
+        t_assert: Ground-truth PIT assertion time of the tick that expired
+            the timer (simulator-only knowledge).
+        t_isr: TSC at the first instruction of the (hooked) PIT ISR; only
+            available when the Windows 98-style ISR hook is installed.
+        t_dpc: TSC at the first instruction of the tool's DPC (``ASB[1]``).
+        t_thread: TSC at the thread's first instruction after its wait is
+            satisfied (``ASB[2]``).
+    """
+
+    seq: int
+    priority: int
+    t_read: int
+    delay_cycles: int
+    t_assert: Optional[int] = None
+    t_isr: Optional[int] = None
+    t_dpc: Optional[int] = None
+    t_thread: Optional[int] = None
+
+    @property
+    def estimated_expiry(self) -> int:
+        """The paper's estimated hardware-interrupt timestamp."""
+        return self.t_read + self.delay_cycles
+
+    def origin(self, mode: str = "auto") -> Optional[int]:
+        """The 'hardware interrupt' reference timestamp.
+
+        Modes:
+            ``"auto"`` -- paper-faithful: when the run had the Windows
+            98-style private PIT handler (``t_isr`` is recorded), the tool
+            knows the true tick phase and references the assertion time;
+            otherwise (the NT tool) it falls back to the estimated expiry
+            with its +/- one PIT period resolution.
+            ``"estimate"`` -- always use the software estimate.
+            ``"truth"`` -- always use the simulator's ground truth.
+        """
+        if mode == "estimate":
+            return self.estimated_expiry
+        if mode == "truth":
+            return self.t_assert
+        if mode == "auto":
+            return self.t_assert if self.t_isr is not None else self.estimated_expiry
+        raise ValueError(f"unknown origin mode {mode!r}")
+
+    def latency_cycles(self, kind: LatencyKind, origin: str = "auto") -> Optional[int]:
+        """The latency of ``kind`` in cycles, or ``None`` if unmeasurable.
+
+        Args:
+            origin: Hardware-interrupt reference mode (see :meth:`origin`).
+        """
+        if kind is LatencyKind.ISR:
+            # Only measurable with the private PIT handler installed, whose
+            # phase arithmetic references the true tick time.
+            start = self.origin("truth") if origin == "auto" else self.origin(origin)
+            if self.t_isr is None or start is None:
+                return None
+            return self.t_isr - start
+        if kind is LatencyKind.DPC:
+            if self.t_isr is None or self.t_dpc is None:
+                return None
+            return self.t_dpc - self.t_isr
+        if kind is LatencyKind.DPC_INTERRUPT:
+            start = self.origin(origin)
+            if self.t_dpc is None or start is None:
+                return None
+            return self.t_dpc - start
+        if kind is LatencyKind.THREAD:
+            if self.t_dpc is None or self.t_thread is None:
+                return None
+            return self.t_thread - self.t_dpc
+        if kind is LatencyKind.THREAD_INTERRUPT:
+            start = self.origin(origin)
+            if self.t_thread is None or start is None:
+                return None
+            return self.t_thread - start
+        raise ValueError(f"unknown kind {kind!r}")
+
+    @property
+    def complete(self) -> bool:
+        return self.t_dpc is not None and self.t_thread is not None
+
+
+class SampleSet:
+    """A collection of samples from one measurement run.
+
+    Attributes:
+        clock: CPU clock for cycle/ms conversion.
+        os_name: Which OS personality produced the data.
+        workload: Name of the stress load.
+        duration_s: Simulated wall time of the collection.
+        samples: The raw samples.
+    """
+
+    def __init__(
+        self,
+        clock: CpuClock,
+        os_name: str,
+        workload: str,
+        duration_s: float,
+        samples: Optional[List[RawSample]] = None,
+    ):
+        self.clock = clock
+        self.os_name = os_name
+        self.workload = workload
+        self.duration_s = duration_s
+        self.samples: List[RawSample] = samples if samples is not None else []
+
+    def add(self, sample: RawSample) -> None:
+        self.samples.append(sample)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def iter_samples(self, priority: Optional[int] = None) -> Iterable[RawSample]:
+        if priority is None:
+            return iter(self.samples)
+        return (s for s in self.samples if s.priority == priority)
+
+    def priorities(self) -> Sequence[int]:
+        return sorted({s.priority for s in self.samples})
+
+    def latencies_ms(
+        self,
+        kind: LatencyKind,
+        priority: Optional[int] = None,
+        origin: str = "auto",
+    ) -> List[float]:
+        """All measured latencies of ``kind`` in milliseconds.
+
+        Thread-relative kinds (THREAD, THREAD_INTERRUPT) are per-signalled-
+        thread: pass ``priority`` to select the priority-24 or priority-28
+        series.  Interrupt/DPC kinds are shared across the run, so when no
+        priority is given every cycle contributes.
+
+        Args:
+            origin: Hardware-interrupt reference mode (see
+                :meth:`RawSample.origin`).
+        """
+        out: List[float] = []
+        to_ms = self.clock.cycles_to_ms
+        for sample in self.iter_samples(priority):
+            cycles = sample.latency_cycles(kind, origin=origin)
+            if cycles is not None:
+                out.append(to_ms(cycles))
+        return out
+
+    def sample_rate_hz(self, priority: Optional[int] = None) -> float:
+        """Measurement cycles per second for the selected series."""
+        if self.duration_s <= 0:
+            return 0.0
+        count = sum(1 for _ in self.iter_samples(priority))
+        return count / self.duration_s
+
+    def merged_with(self, other: "SampleSet") -> "SampleSet":
+        """Concatenate two runs of the same configuration."""
+        if (self.os_name, self.workload) != (other.os_name, other.workload):
+            raise ValueError("cannot merge sample sets from different configurations")
+        return SampleSet(
+            self.clock,
+            self.os_name,
+            self.workload,
+            self.duration_s + other.duration_s,
+            samples=self.samples + other.samples,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<SampleSet {self.os_name}/{self.workload} n={len(self.samples)} "
+            f"dur={self.duration_s:.1f}s>"
+        )

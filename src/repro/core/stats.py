@@ -1,0 +1,177 @@
+"""Distribution statistics for latency data.
+
+Latency distributions on Windows 98 are "highly non-symmetric, with a very
+long tail on one side" (section 4.2), so everything here is
+order-statistics and tail-fit based; nothing assumes normality.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of pre-sorted data.
+
+    Args:
+        sorted_values: Ascending data; must be non-empty.
+        q: Quantile in [0, 1].
+    """
+    if not sorted_values:
+        raise ValueError("percentile of empty data")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile {q} outside [0, 1]")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = q * (len(sorted_values) - 1)
+    low = int(math.floor(position))
+    high = min(low + 1, len(sorted_values) - 1)
+    frac = position - low
+    return sorted_values[low] * (1.0 - frac) + sorted_values[high] * frac
+
+
+def exceedance_fraction(sorted_values: Sequence[float], threshold: float) -> float:
+    """P(X > threshold) from pre-sorted data (empirical CCDF)."""
+    if not sorted_values:
+        raise ValueError("exceedance of empty data")
+    # Binary search for the first value strictly greater than threshold.
+    lo, hi = 0, len(sorted_values)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if sorted_values[mid] <= threshold:
+            lo = mid + 1
+        else:
+            hi = mid
+    return (len(sorted_values) - lo) / len(sorted_values)
+
+
+@dataclass(frozen=True)
+class ParetoTailFit:
+    """A fitted power-law tail: ``P(X > x) = scale * x ** -alpha``.
+
+    Attributes:
+        alpha: Tail index (smaller = heavier tail).
+        scale: CCDF scale constant.
+        threshold: Values above this were used in the fit.
+        points: Number of tail points used.
+    """
+
+    alpha: float
+    scale: float
+    threshold: float
+    points: int
+
+    def ccdf(self, x: float) -> float:
+        """Extrapolated P(X > x)."""
+        if x <= 0:
+            return 1.0
+        return min(1.0, self.scale * x ** (-self.alpha))
+
+    def quantile_of_exceedance(self, p_exceed: float) -> float:
+        """The x with P(X > x) = p_exceed under the fitted tail."""
+        if not 0.0 < p_exceed < 1.0:
+            raise ValueError(f"p_exceed {p_exceed} outside (0, 1)")
+        return (self.scale / p_exceed) ** (1.0 / self.alpha)
+
+
+def fit_pareto_tail(
+    sorted_values: Sequence[float],
+    min_points: int = 25,
+) -> Optional[ParetoTailFit]:
+    """Least-squares power-law fit to the empirical CCDF's upper tail.
+
+    Operates on the log-log CCDF (the representation Figure 4 uses, where
+    the Windows 98 tails are near-linear).  The fit window is chosen
+    adaptively so that only the *genuine* tail participates: latency
+    distributions have a dense quantisation/body region (the lognormal bulk
+    of short service times) whose shallow log-log slope would otherwise
+    dominate the regression and wildly overstate long-horizon maxima.  The
+    window starts at the larger of the 99.5th percentile and 8x the median,
+    relaxing toward the 95th percentile / 4x median when that leaves too
+    few points.  Returns ``None`` when no usable tail exists (callers then
+    fall back to the observed maximum).
+    """
+    n = len(sorted_values)
+    if n < 4 * min_points:
+        return None
+    import bisect
+
+    median = percentile(sorted_values, 0.5)
+    tail: List[float] = []
+    for quantile_floor, median_multiple in ((0.995, 8.0), (0.99, 6.0), (0.98, 5.0), (0.95, 4.0)):
+        threshold = max(percentile(sorted_values, quantile_floor), median * median_multiple)
+        cut = bisect.bisect_right(sorted_values, threshold)
+        tail = list(sorted_values[cut:])
+        if len(tail) >= min_points:
+            break
+    if len(tail) < min_points:
+        return None
+    threshold = tail[0]
+    xs: List[float] = []
+    ys: List[float] = []
+    for i, value in enumerate(tail):
+        ccdf = (len(tail) - i) / n  # overall exceedance fraction
+        if value <= 0 or ccdf <= 0:
+            continue
+        xs.append(math.log(value))
+        ys.append(math.log(ccdf))
+    if len(xs) < min_points // 2:
+        return None
+    mean_x = sum(xs) / len(xs)
+    mean_y = sum(ys) / len(ys)
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    if var_x <= 1e-12:
+        return None
+    slope = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / var_x
+    intercept = mean_y - slope * mean_x
+    alpha = -slope
+    if alpha <= 0.05:
+        return None  # not a decaying tail; refuse to extrapolate
+    return ParetoTailFit(
+        alpha=alpha, scale=math.exp(intercept), threshold=threshold, points=len(xs)
+    )
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Summary statistics of one latency series (milliseconds)."""
+
+    count: int
+    mean: float
+    median: float
+    p90: float
+    p99: float
+    p999: float
+    maximum: float
+    minimum: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "DistributionSummary":
+        if not values:
+            raise ValueError("cannot summarise empty data")
+        data = sorted(values)
+        return cls(
+            count=len(data),
+            mean=sum(data) / len(data),
+            median=percentile(data, 0.5),
+            p90=percentile(data, 0.90),
+            p99=percentile(data, 0.99),
+            p999=percentile(data, 0.999),
+            maximum=data[-1],
+            minimum=data[0],
+        )
+
+    def format_row(self, label: str) -> str:
+        return (
+            f"{label:36s} n={self.count:7d} med={self.median:8.4f} "
+            f"p99={self.p99:8.3f} p99.9={self.p999:8.3f} max={self.maximum:8.3f} ms"
+        )
+
+
+def ratio_of_maxima(a: Sequence[float], b: Sequence[float]) -> float:
+    """max(a)/max(b); the paper's 'order of magnitude' comparisons."""
+    if not a or not b:
+        raise ValueError("need non-empty series")
+    return max(a) / max(b)

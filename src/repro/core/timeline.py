@@ -1,0 +1,76 @@
+"""Figure 3 as a renderer: one measurement cycle, annotated.
+
+Given a :class:`~repro.core.samples.RawSample`, draw the execution timeline
+of its measurement cycle -- read, (estimated and true) hardware interrupt,
+ISR, DPC, thread -- with the latency intervals the paper defines marked
+between the events.  Used by examples and handy when eyeballing a single
+pathological cycle out of a campaign.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.samples import LatencyKind, RawSample
+from repro.sim.clock import CpuClock
+
+
+def _events_of(sample: RawSample) -> List[Tuple[int, str]]:
+    events: List[Tuple[int, str]] = [
+        (sample.t_read, "LatRead: RDTSC -> ASB[0], KeSetTimer"),
+        (sample.estimated_expiry, "estimated timer expiry (t_read + delay)"),
+    ]
+    if sample.t_assert is not None:
+        events.append((sample.t_assert, "PIT interrupt asserted (ground truth)"))
+    if sample.t_isr is not None:
+        events.append((sample.t_isr, "ISR first instruction (private hook)"))
+    if sample.t_dpc is not None:
+        events.append((sample.t_dpc, "LatDpcRoutine: RDTSC -> ASB[1], KeSetEvent"))
+    if sample.t_thread is not None:
+        events.append((sample.t_thread, "LatThreadFunc resumes: RDTSC -> ASB[2]"))
+    events.sort(key=lambda e: e[0])
+    return events
+
+
+def render_cycle_timeline(
+    sample: RawSample, clock: Optional[CpuClock] = None
+) -> str:
+    """The annotated Figure 3 timeline for one cycle.
+
+    Args:
+        sample: A (complete or partial) measurement cycle.
+        clock: For millisecond annotations; defaults to the 300 MHz clock.
+    """
+    clock = clock or CpuClock()
+    events = _events_of(sample)
+    origin = events[0][0]
+    lines = [
+        f"measurement cycle #{sample.seq} (thread priority {sample.priority})",
+        f"{'t (ms)':>10s}  event",
+    ]
+    for tsc, label in events:
+        lines.append(f"{clock.cycles_to_ms(tsc - origin):10.4f}  |- {label}")
+    lines.append("")
+    lines.append("latencies (paper definitions):")
+    for kind in LatencyKind:
+        cycles = sample.latency_cycles(kind)
+        if cycles is None:
+            continue
+        lines.append(
+            f"  {kind.value:26s} {clock.cycles_to_ms(cycles):9.4f} ms"
+            f"   ({kind.description})"
+        )
+    return "\n".join(lines)
+
+
+def worst_cycle(sample_set, kind: LatencyKind, priority: Optional[int] = None) -> RawSample:
+    """The campaign's worst cycle for ``kind`` -- the one worth staring at."""
+    worst: Optional[RawSample] = None
+    worst_cycles = -1
+    for sample in sample_set.iter_samples(priority):
+        cycles = sample.latency_cycles(kind)
+        if cycles is not None and cycles > worst_cycles:
+            worst, worst_cycles = sample, cycles
+    if worst is None:
+        raise ValueError(f"no measurable {kind.value} samples")
+    return worst

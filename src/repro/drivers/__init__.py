@@ -1,0 +1,16 @@
+"""The paper's instrumented WDM drivers.
+
+* :mod:`repro.drivers.latency` -- the interrupt/DPC/thread latency
+  measurement tool of section 2.2, a line-for-line port of the paper's
+  pseudocode against :mod:`repro.wdm`.
+* :mod:`repro.drivers.cause_tool` -- the latency *cause* tool of section
+  2.3 (PIT-hook instruction-pointer sampler with post-mortem episode
+  analysis; Table 4).
+* :mod:`repro.drivers.softmodem` -- the soft-modem datapump model and the
+  deadline-miss monitor sketched in section 6.1, used to validate the
+  MTTF analysis of section 5.1.
+"""
+
+from repro.drivers.latency import LatencyToolConfig, WdmLatencyTool
+
+__all__ = ["LatencyToolConfig", "WdmLatencyTool"]

@@ -1,0 +1,152 @@
+"""The latency *cause* tool (section 2.3).
+
+The measurement tools say *how bad* latency is; this tool says *why*.  The
+paper's implementation patches the Pentium IDT entry for the PIT interrupt
+with a hook that appends (instruction pointer, code segment, timestamp) to
+a circular buffer every millisecond, and modifies the thread-latency tool
+to dump that buffer whenever it observes a latency above a preset
+threshold.  Post-mortem analysis with symbol files turns the raw samples
+into per-episode module+function traces (Table 4) -- "in spite of the lack
+of source code the module+function traces are often quite revealing".
+
+The simulation analogue: every PIT tick the hook records the label of the
+code the clock interrupt *interrupted* (``Kernel.interrupted_execution_label``
+-- the saved instruction pointer of the IDT stack frame); an over-threshold
+sample from the attached :class:`~repro.drivers.latency.WdmLatencyTool`
+freezes the window of ring entries covering the episode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.samples import LatencyKind, RawSample
+from repro.drivers.latency import WdmLatencyTool
+from repro.kernel.kernel import Kernel
+
+
+@dataclass(frozen=True)
+class IpSample:
+    """One circular-buffer entry: who the PIT interrupt caught running."""
+
+    tsc: int
+    module: str
+    function: str
+
+
+@dataclass
+class LatencyEpisode:
+    """One over-threshold latency with its captured execution trace.
+
+    Attributes:
+        index: Episode number ("Analysis of latency episode number N").
+        priority: Measurement-thread priority of the triggering sample.
+        latency_ms: The observed thread latency.
+        window: (start, end) TSC of the episode (DPC signal to thread run).
+        samples: Ring entries whose timestamps fall in the window.
+    """
+
+    index: int
+    priority: int
+    latency_ms: float
+    window: Tuple[int, int]
+    samples: List[IpSample] = field(default_factory=list)
+
+    def function_counts(self) -> Dict[Tuple[str, str], int]:
+        """Aggregate samples per (module, function)."""
+        counts: Dict[Tuple[str, str], int] = {}
+        for sample in self.samples:
+            key = (sample.module, sample.function)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def format(self) -> str:
+        """Table 4's presentation of one episode."""
+        lines = [f"Analysis of latency episode number {self.index}"]
+        for (module, function), count in sorted(self.function_counts().items()):
+            lines.append(f"{count} samples in {module} function {function}")
+        lines.append("-" * 49)
+        lines.append(f"{len(self.samples)} total samples in episode")
+        return "\n".join(lines)
+
+
+class LatencyCauseTool:
+    """PIT-hook instruction-pointer sampler with episode capture.
+
+    Args:
+        tool: The latency measurement tool to piggy-back on (provides both
+            the 1 kHz PIT programming and the over-threshold trigger).
+        threshold_ms: Report only thread latencies above this ("we modified
+            the thread latency tool to report only latencies in excess of a
+            preset threshold").
+        ring_size: Circular buffer capacity in samples.
+        max_episodes: Stop capturing after this many episodes (keeps long
+            campaigns bounded).
+    """
+
+    def __init__(
+        self,
+        tool: WdmLatencyTool,
+        threshold_ms: float = 2.0,
+        ring_size: int = 256,
+        max_episodes: int = 1000,
+    ):
+        if threshold_ms <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold_ms}")
+        if ring_size < 8:
+            raise ValueError(f"ring_size too small: {ring_size}")
+        self.tool = tool
+        self.kernel: Kernel = tool.kernel
+        self.threshold_ms = threshold_ms
+        self.ring_size = ring_size
+        self.max_episodes = max_episodes
+        self.episodes: List[LatencyEpisode] = []
+        self.ticks_sampled = 0
+        self._ring: List[IpSample] = []
+        self.kernel.install_pit_hook(self._pit_hook)
+        tool.on_sample.append(self._check_sample)
+
+    # ------------------------------------------------------------------
+    # The IDT hook
+    # ------------------------------------------------------------------
+    def _pit_hook(self, kernel: Kernel, asserted_at: int) -> None:
+        module, function = kernel.interrupted_execution_label()
+        self.ticks_sampled += 1
+        self._ring.append(IpSample(tsc=kernel.read_tsc(), module=module, function=function))
+        if len(self._ring) > self.ring_size:
+            del self._ring[: self.ring_size // 2]
+
+    # ------------------------------------------------------------------
+    # Over-threshold trigger
+    # ------------------------------------------------------------------
+    def _check_sample(self, sample: RawSample) -> None:
+        if len(self.episodes) >= self.max_episodes:
+            return
+        latency_cycles = sample.latency_cycles(LatencyKind.THREAD)
+        if latency_cycles is None:
+            return
+        latency_ms = self.kernel.clock.cycles_to_ms(latency_cycles)
+        if latency_ms <= self.threshold_ms:
+            return
+        assert sample.t_dpc is not None and sample.t_thread is not None
+        window = (sample.t_dpc, sample.t_thread)
+        captured = [s for s in self._ring if window[0] <= s.tsc <= window[1]]
+        self.episodes.append(
+            LatencyEpisode(
+                index=len(self.episodes),
+                priority=sample.priority,
+                latency_ms=latency_ms,
+                window=window,
+                samples=captured,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def format_report(self, limit: int = 10) -> str:
+        """Table 4-style dump of the first ``limit`` episodes."""
+        if not self.episodes:
+            return "No latency episodes above threshold."
+        return "\n\n".join(e.format() for e in self.episodes[:limit])

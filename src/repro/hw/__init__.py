@@ -1,0 +1,35 @@
+"""Simulated PC hardware substrate.
+
+Models the hardware the paper's tools depend on, at the level of detail the
+measurement methodology needs:
+
+* :class:`repro.hw.tsc.TimeStampCounter` -- the Pentium time-stamp counter
+  (``RDTSC``), a free-running cycle counter.
+* :class:`repro.hw.pit.ProgrammableIntervalTimer` -- the 8254 PIT, the
+  periodic interrupt source the paper reprograms from the default 67-100 Hz
+  to 1 kHz.
+* :class:`repro.hw.pic.InterruptController` -- prioritised interrupt
+  delivery with per-vector IRQLs (the 8259 PIC as seen through the HAL).
+* :mod:`repro.hw.devices` -- interrupt-generating peripherals (IDE disk,
+  NIC, sound card, graphics) matching the paper's all-PCI test system.
+* :class:`repro.hw.machine.Machine` -- the assembled testbed (Table 2's
+  300 MHz Pentium II system).
+"""
+
+from repro.hw.devices import Device, DeviceConfig, standard_pci_devices
+from repro.hw.machine import Machine, MachineConfig
+from repro.hw.pic import InterruptController, InterruptVector
+from repro.hw.pit import ProgrammableIntervalTimer
+from repro.hw.tsc import TimeStampCounter
+
+__all__ = [
+    "Device",
+    "DeviceConfig",
+    "InterruptController",
+    "InterruptVector",
+    "Machine",
+    "MachineConfig",
+    "ProgrammableIntervalTimer",
+    "TimeStampCounter",
+    "standard_pci_devices",
+]

@@ -1,0 +1,135 @@
+"""Prioritised interrupt delivery (PIC + HAL IRQL mapping).
+
+The controller tracks *asserted* vectors and offers the kernel the highest-
+IRQL pending vector.  Delivery policy (can the CPU take it right now?) is
+the kernel's job; the controller only models the hardware-side state:
+assertion, pending, acknowledge.
+
+Each vector carries the IRQL its ISR runs at, matching the WDM notion that
+device interrupt levels (DIRQLs) sit between ``DISPATCH_LEVEL`` and the
+clock interrupt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass
+class InterruptVector:
+    """One interrupt line as the kernel sees it.
+
+    Attributes:
+        name: Stable identifier ("pit", "ide0", "nic", ...).
+        irql: IRQL at which the connected ISR executes.
+        latency_cycles: Fixed hardware cost between assertion and the CPU
+            being able to start the ISR (bus arbitration + vector fetch).
+        asserted_at: Cycle time of the oldest un-acknowledged assertion, or
+            ``None`` when idle.
+        assertions: Total number of assertions (diagnostics).
+        coalesced: Assertions that arrived while already pending (edge
+            triggered semantics: they are lost, like real hardware).
+    """
+
+    name: str
+    irql: int
+    latency_cycles: int = 600  # ~2 microseconds at 300 MHz
+    asserted_at: Optional[int] = None
+    context: object = None
+    assertions: int = 0
+    coalesced: int = 0
+
+    @property
+    def pending(self) -> bool:
+        return self.asserted_at is not None
+
+
+class InterruptController:
+    """The machine's interrupt controller.
+
+    The kernel registers a single ``delivery_hook`` which is poked whenever
+    a new vector is asserted; the kernel then decides whether current IRQL
+    and interrupt-flag state allow delivery, and calls :meth:`acknowledge`
+    when it starts the ISR.
+    """
+
+    def __init__(self) -> None:
+        self._vectors: Dict[str, InterruptVector] = {}
+        self.delivery_hook: Optional[Callable[[], None]] = None
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def register(self, vector: InterruptVector) -> InterruptVector:
+        """Register a vector; names must be unique."""
+        if vector.name in self._vectors:
+            raise ValueError(f"vector {vector.name!r} already registered")
+        if not 3 <= vector.irql <= 31:
+            raise ValueError(
+                f"vector {vector.name!r} has IRQL {vector.irql}; device vectors "
+                "must be above DISPATCH_LEVEL (2) and at most HIGH_LEVEL (31)"
+            )
+        self._vectors[vector.name] = vector
+        return vector
+
+    def vector(self, name: str) -> InterruptVector:
+        return self._vectors[name]
+
+    def vectors(self) -> List[InterruptVector]:
+        return list(self._vectors.values())
+
+    # ------------------------------------------------------------------
+    # Hardware-side operations
+    # ------------------------------------------------------------------
+    def assert_irq(self, name: str, now: int) -> bool:
+        """Assert an interrupt line at cycle ``now``.
+
+        Returns ``True`` if the assertion created a new pending interrupt;
+        ``False`` if it coalesced into an already-pending one.
+        """
+        vector = self._vectors[name]
+        vector.assertions += 1
+        if vector.pending:
+            vector.coalesced += 1
+            return False
+        vector.asserted_at = now
+        if self.delivery_hook is not None:
+            self.delivery_hook()
+        return True
+
+    def highest_pending(self, above_irql: int) -> Optional[InterruptVector]:
+        """The pending vector with the highest IRQL strictly above ``above_irql``.
+
+        Ties are broken by earliest assertion time (FIFO within a level),
+        then by name for determinism.
+        """
+        best: Optional[InterruptVector] = None
+        for vector in self._vectors.values():
+            if not vector.pending or vector.irql <= above_irql:
+                continue
+            if best is None:
+                best = vector
+                continue
+            key = (-vector.irql, vector.asserted_at, vector.name)
+            best_key = (-best.irql, best.asserted_at, best.name)
+            if key < best_key:
+                best = vector
+        return best
+
+    def acknowledge(self, name: str) -> int:
+        """Acknowledge (begin servicing) a pending vector.
+
+        Returns the cycle time at which the interrupt was asserted, which
+        the kernel uses to account true hardware interrupt latency.
+        """
+        vector = self._vectors[name]
+        if not vector.pending:
+            raise RuntimeError(f"acknowledge of non-pending vector {name!r}")
+        asserted_at = vector.asserted_at
+        vector.asserted_at = None
+        assert asserted_at is not None
+        return asserted_at
+
+    def any_pending(self, above_irql: int = 0) -> bool:
+        return self.highest_pending(above_irql) is not None

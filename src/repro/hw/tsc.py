@@ -1,0 +1,46 @@
+"""The Pentium time-stamp counter.
+
+The paper's tools time everything with ``RDTSC`` (section 2.2.5 reproduces
+Intel's ``GetCycleCount`` helper, emitting the opcode bytes ``0F 31`` by
+hand because period inline assemblers did not know the mnemonic).  The
+simulated TSC is simply the engine's cycle clock plus an optional boot
+offset, which preserves the two properties the methodology relies on:
+monotonicity and cycle resolution.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Engine
+
+
+class TimeStampCounter:
+    """A free-running cycle counter (``RDTSC``).
+
+    Attributes:
+        engine: The simulation engine whose clock backs the counter.
+        boot_offset: Cycles already on the counter at simulation start;
+            non-zero values are useful in tests to prove no code assumes the
+            counter starts at zero.
+    """
+
+    def __init__(self, engine: Engine, boot_offset: int = 0):
+        if boot_offset < 0:
+            raise ValueError(f"boot_offset must be non-negative, got {boot_offset}")
+        self.engine = engine
+        self.boot_offset = boot_offset
+
+    def read(self) -> int:
+        """Execute ``RDTSC``: return the current cycle count.
+
+        This is the simulation analogue of the paper's ``GetCycleCount``;
+        the returned value is what a driver would see in EDX:EAX.
+        """
+        return self.engine.now + self.boot_offset
+
+    def low_high(self) -> tuple:
+        """Return the (low 32 bits, high 32 bits) split of the counter.
+
+        Mirrors the ``LARGE_INTEGER`` handling in the paper's pseudocode.
+        """
+        value = self.read()
+        return value & 0xFFFFFFFF, value >> 32

@@ -1,0 +1,41 @@
+"""One-call OS boot facade.
+
+``boot_os(machine, "win98")`` gives you a booted kernel with the right
+personality; the string names match the paper's Table 2 columns.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.hw.machine import Machine
+from repro.kernel.nt4 import BootedOs, build_nt4_kernel
+from repro.kernel.win2k import build_win2k_kernel
+from repro.kernel.win98 import build_win98_kernel
+
+_BUILDERS: Dict[str, Callable[..., BootedOs]] = {
+    "nt4": build_nt4_kernel,
+    "win2k": build_win2k_kernel,
+    "win98": build_win98_kernel,
+}
+
+OS_NAMES = tuple(sorted(_BUILDERS))
+
+
+def boot_os(machine: Machine, os_name: str, baseline_load: bool = True) -> BootedOs:
+    """Boot the named OS personality on ``machine``.
+
+    Args:
+        machine: The simulated hardware.
+        os_name: ``"nt4"``, ``"win98"``, or ``"win2k"`` (the section 6.1
+            beta-monitoring extension).
+        baseline_load: Install idle-system background kernel activity.
+
+    Raises:
+        KeyError: For an unknown OS name.
+    """
+    try:
+        builder = _BUILDERS[os_name]
+    except KeyError:
+        raise KeyError(f"unknown OS {os_name!r}; choose from {OS_NAMES}") from None
+    return builder(machine, baseline_load=baseline_load)

@@ -1,0 +1,385 @@
+"""Injected kernel activity ("intrusions") and load profiles.
+
+The latencies the paper measures are caused by *other* code holding the
+CPU at high priority: interrupt-disabled regions, long ISRs, queued DPCs,
+and -- on Windows 98 -- legacy VMM sections during which the scheduler
+cannot dispatch a newly-woken thread.  This module provides the machinery
+that injects such activity into a running kernel, in four flavours that map
+one-to-one onto the latency rows of the paper's Table 3:
+
+* ``CLI`` -- an interrupts-disabled region (pseudo-interrupt at HIGH_LEVEL
+  executing with the interrupt flag clear).  Delays ISRs, DPCs and threads:
+  the "H/W Int. to S/W ISR" row.
+* ``ISR`` -- a region at a device IRQL.  Delays lower-IRQL ISRs, DPCs and
+  threads.
+* ``DPC`` -- work queued on the system DPC queue.  Because ordinary DPCs
+  drain FIFO, this adds to "S/W ISR to DPC" for any DPC behind it.
+* ``SECTION`` -- a burst executed by a hidden priority-31 kernel thread
+  (the "VMM section executor").  Being a thread, it delays only *thread*
+  dispatch -- ISRs and DPCs preempt it freely -- which is exactly how
+  Windows 98's non-reentrant VMM code hurts thread latency by tens of
+  milliseconds while adding almost nothing to DPC latency (Table 3).
+
+Every source draws event times from a Poisson process and durations from a
+:class:`~repro.sim.rng.DurationDistribution`; the calibrated numbers live
+with the workloads (:mod:`repro.workloads`).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Deque, List, Optional, Tuple
+
+from repro.kernel import irql as irql_mod
+from repro.kernel.dpc import Dpc, DpcImportance
+from repro.kernel.kernel import Kernel
+from repro.kernel.objects import KEvent, KTimer
+from repro.kernel.requests import Run, Wait
+from repro.sim.rng import DurationDistribution, RngStream
+
+_uid = itertools.count(1)
+
+
+class IntrusionKind(enum.Enum):
+    CLI = "cli"
+    ISR = "isr"
+    DPC = "dpc"
+    SECTION = "section"
+
+
+@dataclass(frozen=True)
+class IntrusionSpec:
+    """One stochastic source of high-priority kernel activity.
+
+    Attributes:
+        name: Source identifier (also seeds its private RNG stream).
+        kind: Which latency row this activity hits (see module docstring).
+        rate_hz: Mean event rate (Poisson).
+        duration: Per-event duration distribution (milliseconds).
+        irql: For ``ISR`` kind, the DIRQL of the injected region.
+        module: Cause-tool module label (e.g. ``"VMM"``).
+        function: Cause-tool function label (e.g. ``"_mmCalcFrameBadness"``).
+    """
+
+    name: str
+    kind: IntrusionKind
+    rate_hz: float
+    duration: DurationDistribution
+    irql: int = irql_mod.HIGH_LEVEL
+    module: str = "VMM"
+    function: str = "unknown"
+
+    def __post_init__(self):
+        if self.rate_hz <= 0:
+            raise ValueError(f"rate_hz must be positive, got {self.rate_hz}")
+        if self.kind is IntrusionKind.ISR and not irql_mod.DIRQL_MIN <= self.irql <= 30:
+            raise ValueError(f"ISR intrusion IRQL {self.irql} must be a device level")
+
+    def scaled(self, rate_factor: float = 1.0, duration_factor: float = 1.0) -> "IntrusionSpec":
+        """Scaled copy, used by ablation sweeps."""
+        return replace(
+            self,
+            rate_hz=self.rate_hz * rate_factor,
+            duration=self.duration.scaled(duration_factor) if duration_factor != 1.0 else self.duration,
+        )
+
+
+@dataclass(frozen=True)
+class DeviceActivitySpec:
+    """Interrupt traffic from one peripheral under a workload.
+
+    Each event asserts the device's IRQ; the connected driver ISR runs for
+    ``isr_duration`` then queues the device DPC which runs for
+    ``dpc_duration``.  Back-to-back interrupts coalesce in the PIC and the
+    DPC queue exactly as real edge-triggered hardware does.
+    """
+
+    device: str
+    rate_hz: float
+    isr_duration: DurationDistribution
+    dpc_duration: DurationDistribution
+    module: str = "DRIVER"
+
+    def __post_init__(self):
+        if self.rate_hz <= 0:
+            raise ValueError(f"rate_hz must be positive, got {self.rate_hz}")
+
+    def scaled(self, rate_factor: float = 1.0) -> "DeviceActivitySpec":
+        return replace(self, rate_hz=self.rate_hz * rate_factor)
+
+
+@dataclass(frozen=True)
+class WorkItemLoadSpec:
+    """Work queued to the NT kernel work-item queue (serviced at RT default
+    priority; see :mod:`repro.kernel.workitems`)."""
+
+    rate_hz: float
+    duration: DurationDistribution
+    module: str = "NTKERN"
+    function: str = "_ExWorkerThread"
+
+
+@dataclass(frozen=True)
+class AppThreadSpec:
+    """A normal-priority application thread: compute bursts + think time."""
+
+    name: str
+    priority: int
+    compute: DurationDistribution
+    think: Optional[DurationDistribution] = None
+    module: str = "APP"
+
+    def __post_init__(self):
+        if not 1 <= self.priority <= 15:
+            raise ValueError(
+                f"application threads use normal priorities 1-15, got {self.priority}"
+            )
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """Everything a workload injects into one OS personality."""
+
+    name: str
+    intrusions: Tuple[IntrusionSpec, ...] = ()
+    devices: Tuple[DeviceActivitySpec, ...] = ()
+    work_items: Optional[WorkItemLoadSpec] = None
+    app_threads: Tuple[AppThreadSpec, ...] = ()
+
+    def merged_with(self, other: "LoadProfile") -> "LoadProfile":
+        """Overlay another profile (e.g. a virus-scanner perturbation)."""
+        return LoadProfile(
+            name=f"{self.name}+{other.name}",
+            intrusions=self.intrusions + other.intrusions,
+            devices=self.devices + other.devices,
+            work_items=other.work_items or self.work_items,
+            app_threads=self.app_threads + other.app_threads,
+        )
+
+
+# ======================================================================
+# Runtime sources
+# ======================================================================
+class SectionExecutor:
+    """The hidden priority-31 kernel thread that runs SECTION bursts.
+
+    On Windows 98 this stands in for non-reentrant VMM/VxD code that the
+    scheduler cannot preempt on behalf of a newly-ready thread; on NT it
+    stands in for (much shorter) dispatcher/executive critical sections.
+    ISRs and DPCs preempt it freely -- it is an ordinary thread, just at the
+    top priority -- so it manufactures *thread* latency only.
+    """
+
+    PRIORITY = 31
+
+    def __init__(self, kernel: Kernel, name: str = "KernelSections"):
+        self.kernel = kernel
+        self._pending: Deque[Tuple[int, Tuple[str, str]]] = deque()
+        self._event = KEvent(synchronization=True, name=f"{name}-event")
+        self.bursts_run = 0
+        self.busy_cycles = 0
+        self.thread = kernel.create_thread(
+            name, self.PRIORITY, self._body, module="VMM", system=True
+        )
+
+    def submit(self, duration_ms: float, label: Tuple[str, str]) -> None:
+        """Queue a burst of ``duration_ms`` of non-preemptible-by-threads work."""
+        cycles = self.kernel.clock.ms_to_cycles(duration_ms)
+        self._pending.append((cycles, label))
+        self.kernel.set_event(self._event)
+
+    @property
+    def backlog(self) -> int:
+        return len(self._pending)
+
+    def _body(self, kernel: Kernel, thread):
+        while True:
+            yield Wait(self._event)
+            while self._pending:
+                cycles, label = self._pending.popleft()
+                self.bursts_run += 1
+                self.busy_cycles += cycles
+                yield Run(cycles, label=label)
+
+
+class IntrusionSource:
+    """Drives one :class:`IntrusionSpec` against a kernel."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        spec: IntrusionSpec,
+        rng: RngStream,
+        section_executor: Optional[SectionExecutor] = None,
+    ):
+        self.kernel = kernel
+        self.spec = spec
+        self.rng = rng.child(f"intrusion/{spec.name}")
+        self.section_executor = section_executor
+        self.fired = 0
+        self.total_ms = 0.0
+        self._vector_name: Optional[str] = None
+        if spec.kind in (IntrusionKind.CLI, IntrusionKind.ISR):
+            level = irql_mod.HIGH_LEVEL if spec.kind is IntrusionKind.CLI else spec.irql
+            self._vector_name = kernel.register_intrusion_vector(
+                f"intr-{spec.name}-{next(_uid)}", irql=level
+            )
+            kernel.connect_interrupt(self._vector_name, self._isr_factory)
+        if spec.kind is IntrusionKind.SECTION and section_executor is None:
+            raise ValueError(f"SECTION intrusion {spec.name!r} needs a SectionExecutor")
+        self._duration_ms = 0.0
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        delay_s = self.rng.poisson_interval(self.spec.rate_hz)
+        self.kernel.engine.schedule_in(self.kernel.clock.s_to_cycles(delay_s), self._fire)
+
+    def _fire(self) -> None:
+        spec = self.spec
+        duration_ms = spec.duration.sample_ms(self.rng)
+        self.fired += 1
+        self.total_ms += duration_ms
+        label = (spec.module, spec.function)
+        if spec.kind in (IntrusionKind.CLI, IntrusionKind.ISR):
+            self._duration_ms = duration_ms
+            self.kernel.pic.assert_irq(self._vector_name, self.kernel.engine.now)
+        elif spec.kind is IntrusionKind.DPC:
+            cycles = self.kernel.clock.ms_to_cycles(duration_ms)
+            dpc = Dpc(
+                routine=lambda kernel, dpc, _cycles=cycles, _label=label: _burn(_cycles, _label),
+                importance=DpcImportance.MEDIUM,
+                name=spec.function,
+                module=spec.module,
+            )
+            self.kernel.queue_dpc(dpc)
+        else:  # SECTION
+            assert self.section_executor is not None
+            self.section_executor.submit(duration_ms, label)
+        self._schedule_next()
+
+    def _isr_factory(self, kernel: Kernel, vector, asserted_at: int):
+        cycles = kernel.clock.ms_to_cycles(self._duration_ms)
+        cli = self.spec.kind is IntrusionKind.CLI
+        yield Run(cycles, cli=cli, label=(self.spec.module, self.spec.function))
+
+
+def _burn(cycles: int, label: Tuple[str, str]):
+    yield Run(cycles, label=label)
+
+
+class DeviceActivitySource:
+    """Poisson interrupt traffic on a real peripheral, with a driver ISR
+    that queues the device's DPC -- the standard WDM pattern."""
+
+    def __init__(self, kernel: Kernel, spec: DeviceActivitySpec, rng: RngStream):
+        self.kernel = kernel
+        self.spec = spec
+        self.rng = rng.child(f"device/{spec.device}")
+        self.fired = 0
+        device = kernel.machine.device(spec.device)
+        self.device = device
+        self._dpc = Dpc(
+            routine=self._dpc_routine,
+            importance=DpcImportance.MEDIUM,
+            name=f"_{spec.device}Dpc",
+            module=spec.module,
+        )
+        kernel.connect_interrupt(spec.device, self._isr_factory)
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        delay_s = self.rng.poisson_interval(self.spec.rate_hz)
+        self.kernel.engine.schedule_in(self.kernel.clock.s_to_cycles(delay_s), self._fire)
+
+    def _fire(self) -> None:
+        self.fired += 1
+        self.device.raise_irq()
+        self._schedule_next()
+
+    def _isr_factory(self, kernel: Kernel, vector, asserted_at: int):
+        isr_ms = self.spec.isr_duration.sample_ms(self.rng)
+        yield Run(
+            kernel.clock.ms_to_cycles(isr_ms),
+            label=(self.spec.module, f"_{self.spec.device}Isr"),
+        )
+        kernel.queue_dpc(self._dpc)
+
+    def _dpc_routine(self, kernel: Kernel, dpc: Dpc):
+        dpc_ms = self.spec.dpc_duration.sample_ms(self.rng)
+        yield Run(
+            kernel.clock.ms_to_cycles(dpc_ms),
+            label=(self.spec.module, f"_{self.spec.device}Dpc"),
+        )
+
+
+class AppThreadSource:
+    """A normal-priority application thread doing compute + think cycles."""
+
+    def __init__(self, kernel: Kernel, spec: AppThreadSpec, rng: RngStream):
+        self.kernel = kernel
+        self.spec = spec
+        self.rng = rng.child(f"app/{spec.name}")
+        self.bursts = 0
+        self.thread = kernel.create_thread(
+            spec.name, spec.priority, self._body, module=spec.module
+        )
+
+    def _body(self, kernel: Kernel, thread):
+        spec = self.spec
+        timer = KTimer(name=f"{spec.name}-sleep")
+        while True:
+            compute_ms = spec.compute.sample_ms(self.rng)
+            self.bursts += 1
+            yield Run(
+                kernel.clock.ms_to_cycles(compute_ms),
+                label=(spec.module, f"_{spec.name}_compute"),
+            )
+            if spec.think is not None:
+                think_ms = spec.think.sample_ms(self.rng)
+                kernel.set_timer(timer, think_ms)
+                yield Wait(timer)
+
+
+@dataclass
+class AppliedLoad:
+    """Handle to everything a load profile instantiated (for stats)."""
+
+    profile: LoadProfile
+    intrusion_sources: List[IntrusionSource] = field(default_factory=list)
+    device_sources: List[DeviceActivitySource] = field(default_factory=list)
+    app_threads: List[AppThreadSource] = field(default_factory=list)
+
+
+def apply_load_profile(
+    kernel: Kernel,
+    profile: LoadProfile,
+    rng: RngStream,
+    section_executor: Optional[SectionExecutor] = None,
+    work_item_queue=None,
+) -> AppliedLoad:
+    """Instantiate every source in ``profile`` against ``kernel``.
+
+    Args:
+        section_executor: Required if the profile has SECTION intrusions.
+        work_item_queue: A :class:`repro.kernel.workitems.WorkItemQueue`;
+            required if the profile generates work items.
+    """
+    applied = AppliedLoad(profile=profile)
+    for spec in profile.intrusions:
+        applied.intrusion_sources.append(
+            IntrusionSource(kernel, spec, rng, section_executor=section_executor)
+        )
+    for spec in profile.devices:
+        applied.device_sources.append(DeviceActivitySource(kernel, spec, rng))
+    for spec in profile.app_threads:
+        applied.app_threads.append(AppThreadSource(kernel, spec, rng))
+    if profile.work_items is not None:
+        if work_item_queue is None:
+            raise ValueError(
+                f"profile {profile.name!r} generates work items but the OS has no work-item queue"
+            )
+        work_item_queue.attach_load(profile.work_items, rng)
+    return applied

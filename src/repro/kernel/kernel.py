@@ -1,0 +1,935 @@
+"""The kernel execution core.
+
+Implements the WDM scheduling hierarchy on the simulated machine:
+interrupt delivery and nesting (by IRQL), the DPC drain at DISPATCH_LEVEL,
+and the 32-priority preemptive thread scheduler with timeslicing.
+
+Execution contexts are *frames*.  The running frame is, in order of
+precedence: the top of the ISR stack, the active DPC frame, or the current
+thread's frame.  Preemption pauses a frame's in-progress ``Run`` segment
+(recording the unconsumed cycles) and resumes it when the frame regains the
+CPU, so every queueing and preemption delay turns into measurable latency.
+
+Driver/kernel code is a generator yielding :class:`~repro.kernel.requests.Run`
+and :class:`~repro.kernel.requests.Wait`; all other services are direct
+method calls on :class:`Kernel` (they take zero simulated time, which is
+sound because simulated time only advances between yields).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.hw.machine import Machine
+from repro.hw.pic import InterruptVector
+from repro.kernel import irql as irql_mod
+from repro.kernel.dpc import Dpc, DpcImportance, DpcQueue
+from repro.kernel.objects import (
+    DispatcherObject,
+    KEvent,
+    KMutex,
+    KSemaphore,
+    KTimer,
+    WaitStatus,
+)
+from repro.kernel.profile import OsProfile
+from repro.kernel.requests import Run, Wait, WaitAny
+from repro.kernel.threads import KThread, ReadyQueues, ThreadState
+
+
+class KernelError(RuntimeError):
+    """Illegal use of a kernel service (e.g. blocking wait from a DPC)."""
+
+
+class BugCheck(RuntimeError):
+    """The kernel crashed (the blue screen).
+
+    Raised when kernel-mode code -- an ISR, DPC or kernel thread generator
+    -- raises an unhandled exception.  Mirrors real WDM semantics: a driver
+    fault at elevated IRQL does not unwind politely, it stops the machine.
+    The original exception is attached as ``__cause__`` and the faulting
+    context is recorded for post-mortem inspection.
+
+    Attributes:
+        stop_code: Symbolic stop code (IRQL_NOT_LESS_OR_EQUAL spirit).
+        context: (module, function) of the faulting frame.
+        at_cycles: Simulated time of the crash.
+    """
+
+    def __init__(self, stop_code: str, context: Tuple[str, str], at_cycles: int):
+        super().__init__(
+            f"*** STOP: {stop_code} in {context[0]}!{context[1]} at cycle {at_cycles}"
+        )
+        self.stop_code = stop_code
+        self.context = context
+        self.at_cycles = at_cycles
+
+
+class FrameKind(enum.Enum):
+    ISR = "isr"
+    DPC = "dpc"
+    THREAD = "thread"
+
+
+class Frame:
+    """One execution context (ISR instance, DPC drain slot, or thread)."""
+
+    __slots__ = (
+        "kind",
+        "gen",
+        "irql",
+        "owner",
+        "module",
+        "function",
+        "gen_started",
+        "run_end",
+        "run_remaining",
+        "run_label",
+        "send_value",
+    )
+
+    def __init__(self, kind: FrameKind, irql: int, owner: object, module: str, function: str):
+        self.kind = kind
+        self.gen = None
+        self.irql = irql
+        self.owner = owner
+        self.module = module
+        self.function = function
+        self.gen_started = False
+        self.run_end = None  # EventHandle of the active Run segment
+        self.run_remaining = 0  # unconsumed cycles of a paused Run
+        self.run_label: Optional[Tuple[str, str]] = None
+        self.send_value = None
+
+    @property
+    def label(self) -> Tuple[str, str]:
+        """(module, function) describing the code currently executing."""
+        if self.run_label is not None:
+            return self.run_label
+        return (self.module, self.function)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Frame {self.kind.value} irql={self.irql} {self.module}!{self.function}>"
+
+
+@dataclass
+class KernelStats:
+    """Aggregate kernel activity counters."""
+
+    interrupts_delivered: int = 0
+    isr_nest_max: int = 0
+    dpcs_executed: int = 0
+    context_switches: int = 0
+    thread_preemptions: int = 0
+    quantum_rotations: int = 0
+    waits_blocked: int = 0
+    waits_immediate: int = 0
+    wait_timeouts: int = 0
+    timer_expirations: int = 0
+    idle_entries: int = 0
+    per_vector: Dict[str, int] = field(default_factory=dict)
+
+
+#: Signature of an ISR factory: ``factory(kernel, vector, asserted_at) -> generator``.
+IsrFactory = Callable[["Kernel", InterruptVector, int], object]
+
+
+class Kernel:
+    """A booted WDM kernel on a :class:`~repro.hw.machine.Machine`."""
+
+    #: Safety valve on zero-time generator progress, to catch accidental
+    #: infinite loops in driver code.
+    MAX_ZERO_TIME_STEPS = 10_000
+
+    def __init__(self, machine: Machine, profile: OsProfile):
+        self.machine = machine
+        self.engine = machine.engine
+        self.clock = machine.clock
+        self.tsc = machine.tsc
+        self.pic = machine.pic
+        self.trace = machine.trace
+        self.profile = profile
+        self.costs = profile.cycles(machine.clock)
+        self.stats = KernelStats()
+
+        self.isr_stack: List[Frame] = []
+        self.dpc_frame: Optional[Frame] = None
+        self.dpc_queue = DpcQueue()
+        self.ready = ReadyQueues()
+        self.current_thread: Optional[KThread] = None
+        self.threads: List[KThread] = []
+
+        self._isr_factories: Dict[str, IsrFactory] = {}
+        self._timers: List[KTimer] = []
+        self._pit_hooks: List[Callable[["Kernel", int], None]] = []
+        self._sched_point_pending = False
+        self._int_poll_pending = False
+        self._quantum_handle = None
+        self._booted = False
+        #: Set when kernel-mode code faulted (see :class:`BugCheck`).
+        self.bugchecked = False
+        #: Ground truth: assertion time of the most recently serviced clock
+        #: interrupt.  Simulator-side knowledge used to validate the
+        #: paper's estimated-expiry arithmetic; real drivers cannot see it.
+        self.last_clock_assert: Optional[int] = None
+
+        # Assertions can happen while a driver generator is mid-step (e.g.
+        # an ISR body asserts another device's line); delivery must wait
+        # until the current event callback unwinds, so the hook defers to a
+        # zero-time engine event rather than delivering synchronously.
+        self.pic.delivery_hook = self._request_interrupt_poll
+
+    # ==================================================================
+    # Boot
+    # ==================================================================
+    def boot(self) -> None:
+        """Connect the clock ISR and start the PIT (idempotent)."""
+        if self._booted:
+            return
+        self._booted = True
+        self.connect_interrupt("pit", self._clock_isr_factory)
+        self.machine.pit.start()
+
+    # ==================================================================
+    # Public kernel services (zero simulated time; call between yields)
+    # ==================================================================
+    def connect_interrupt(self, vector_name: str, factory: IsrFactory) -> None:
+        """``IoConnectInterrupt``: attach an ISR factory to a vector."""
+        self.pic.vector(vector_name)  # validates existence
+        if vector_name in self._isr_factories:
+            raise KernelError(f"vector {vector_name!r} already connected")
+        self._isr_factories[vector_name] = factory
+
+    def register_intrusion_vector(self, name: str, irql: int, latency_us: float = 0.5) -> str:
+        """Register a synthetic vector for injected kernel activity.
+
+        Workload/legacy kernel sections (the Win98 VMM's ``cli`` regions,
+        SMI-like blackouts) are delivered through the same interrupt
+        machinery as real devices; each source gets a private vector so
+        edge-triggered coalescing between sources cannot occur.
+        """
+        self.pic.register(
+            InterruptVector(
+                name=name, irql=irql, latency_cycles=self.clock.us_to_cycles(latency_us)
+            )
+        )
+        return name
+
+    def install_pit_hook(self, hook: Callable[["Kernel", int], None]) -> None:
+        """Install a handler that runs at the clock ISR's first instruction.
+
+        This is the simulation analogue of the paper's two IDT tricks: the
+        Windows 98 interrupt-latency driver's private timer handler
+        (section 2.2) and the latency-cause tool's PIT hook (section 2.3).
+        The hook receives ``(kernel, asserted_at_cycles)`` and runs before
+        the OS clock ISR body, in zero simulated time.
+        """
+        self._pit_hooks.append(hook)
+
+    def create_thread(
+        self,
+        name: str,
+        priority: int,
+        body: Callable,
+        module: str = "APP",
+        system: bool = False,
+        start: bool = True,
+    ) -> KThread:
+        """``PsCreateSystemThread``: create (and by default start) a thread."""
+        thread = KThread(name=name, priority=priority, body=body, module=module, system=system)
+        frame = Frame(FrameKind.THREAD, irql_mod.PASSIVE_LEVEL, thread, module, name)
+        frame.gen = body(self, thread)
+        thread.frame = frame
+        self.threads.append(thread)
+        if start:
+            self.start_thread(thread)
+        return thread
+
+    def start_thread(self, thread: KThread) -> None:
+        if thread.state is not ThreadState.INITIALIZED:
+            raise KernelError(f"thread {thread.name!r} already started")
+        thread.state = ThreadState.READY
+        self.ready.enqueue(thread)
+        self._request_schedule_point()
+
+    def set_thread_priority(self, thread: KThread, priority: int) -> None:
+        """``KeSetPriorityThread``: sets the *base* priority."""
+        if not 1 <= priority <= 31:
+            raise KernelError(f"priority {priority} out of range")
+        thread.base_priority = priority
+        if thread.priority == priority:
+            return
+        if thread.state is ThreadState.READY:
+            self.ready.remove(thread)
+            thread.priority = priority
+            self.ready.enqueue(thread)
+        else:
+            thread.priority = priority
+        self._request_schedule_point()
+
+    def _apply_wait_boost(self, thread: KThread) -> None:
+        """NT dynamic priority: boost a normal-class thread on wake."""
+        boost = self.profile.wait_boost
+        if boost <= 0 or thread.base_priority >= 16:
+            return
+        boosted = min(15, thread.base_priority + boost)
+        if boosted > thread.priority:
+            thread.priority = boosted
+
+    def _decay_boost(self, thread: KThread) -> None:
+        """One level of boost decays at each quantum expiry."""
+        if thread.priority > thread.base_priority:
+            thread.priority -= 1
+
+    def create_event(self, synchronization: bool = True, name: str = "") -> KEvent:
+        return KEvent(synchronization=synchronization, name=name)
+
+    def set_event(self, event: KEvent) -> None:
+        """``KeSetEvent``: signal an event and release waiters."""
+        event.set()
+        self._release_waiters(event)
+
+    def clear_event(self, event: KEvent) -> None:
+        event.clear()
+
+    def release_semaphore(self, sem: KSemaphore, adjustment: int = 1) -> None:
+        sem.release(adjustment)
+        self._release_waiters(sem)
+
+    def release_mutex(self, mutex: KMutex) -> None:
+        """``KeReleaseMutex``: must be called by the owning thread."""
+        frame = self._running_frame()
+        if frame is None or frame.kind is not FrameKind.THREAD:
+            raise KernelError("release_mutex outside thread context")
+        if mutex.release(frame.owner):
+            self._release_waiters(mutex)
+
+    def queue_dpc(
+        self, dpc: Dpc, context: object = None, importance: Optional[DpcImportance] = None
+    ) -> bool:
+        """``KeInsertQueueDpc``: legal from any context, including ISRs."""
+        if importance is not None:
+            dpc.importance = importance
+        inserted = self.dpc_queue.insert(dpc, self.engine.now, context)
+        if inserted:
+            dpc.enqueue_clock_assert = self.last_clock_assert
+            self._request_schedule_point()
+        return inserted
+
+    def create_timer(self, name: str = "") -> KTimer:
+        return KTimer(name=name)
+
+    def set_timer(
+        self,
+        timer: KTimer,
+        due_ms: float,
+        dpc: Optional[Dpc] = None,
+        period_ms: Optional[float] = None,
+    ) -> None:
+        """``KeSetTimer``: arm a timer ``due_ms`` from now.
+
+        Expiry is detected by the clock (PIT) ISR, so effective resolution
+        is the current PIT period -- the "+/- the cycle time of the PIT"
+        imprecision the paper accepts.  ``period_ms`` arms a periodic timer
+        (an NT 4.0 addition the paper notes).
+        """
+        if due_ms < 0:
+            raise KernelError(f"due_ms must be non-negative, got {due_ms}")
+        if period_ms is not None and period_ms <= 0:
+            raise KernelError(f"period_ms must be positive, got {period_ms}")
+        timer.signaled = False
+        timer.due_cycles = self.engine.now + self.clock.ms_to_cycles(due_ms)
+        timer.period_ms = period_ms
+        timer.dpc = dpc
+        if timer not in self._timers:
+            self._timers.append(timer)
+
+    def cancel_timer(self, timer: KTimer) -> bool:
+        """``KeCancelTimer``."""
+        if timer in self._timers:
+            self._timers.remove(timer)
+            timer.due_cycles = None
+            return True
+        return False
+
+    def read_tsc(self) -> int:
+        """``RDTSC`` (the paper's ``GetCycleCount``)."""
+        return self.tsc.read()
+
+    def raise_irql(self, level: int) -> int:
+        """``KeRaiseIrql`` from thread context; returns the old level."""
+        frame = self._running_frame()
+        if frame is None or frame.kind is not FrameKind.THREAD:
+            raise KernelError("raise_irql is only modelled for thread context")
+        old = frame.irql
+        if level < old:
+            raise KernelError(f"cannot raise IRQL downwards ({old} -> {level})")
+        frame.irql = irql_mod.validate(level)
+        return old
+
+    def lower_irql(self, level: int) -> None:
+        """``KeLowerIrql``: may unblock DPC draining and preemption."""
+        frame = self._running_frame()
+        if frame is None or frame.kind is not FrameKind.THREAD:
+            raise KernelError("lower_irql is only modelled for thread context")
+        if level > frame.irql:
+            raise KernelError(f"cannot lower IRQL upwards ({frame.irql} -> {level})")
+        frame.irql = irql_mod.validate(level)
+        self._request_schedule_point()
+
+    # ==================================================================
+    # Introspection (used by the cause tool and tests)
+    # ==================================================================
+    def _running_frame(self) -> Optional[Frame]:
+        if self.isr_stack:
+            return self.isr_stack[-1]
+        if self.dpc_frame is not None:
+            return self.dpc_frame
+        if self.current_thread is not None:
+            return self.current_thread.frame
+        return None
+
+    def current_irql(self) -> int:
+        frame = self._running_frame()
+        if frame is None:
+            return irql_mod.PASSIVE_LEVEL
+        if frame.kind is FrameKind.DPC:
+            return irql_mod.DISPATCH_LEVEL
+        return frame.irql
+
+    def current_execution_label(self) -> Tuple[str, str]:
+        """(module, function) of whatever the CPU is executing right now."""
+        frame = self._running_frame()
+        if frame is None:
+            return ("HAL", "_idle_loop")
+        return frame.label
+
+    def interrupted_execution_label(self) -> Tuple[str, str]:
+        """(module, function) of the code an in-progress ISR interrupted.
+
+        What an IDT-hook sampler sees: the instruction pointer saved in the
+        interrupt stack frame, i.e. the context *below* the currently
+        executing ISR.  Falls back to :meth:`current_execution_label` when
+        no ISR is active.
+        """
+        if self.isr_stack:
+            if len(self.isr_stack) >= 2:
+                return self.isr_stack[-2].label
+            if self.dpc_frame is not None:
+                return self.dpc_frame.label
+            if self.current_thread is not None:
+                return self.current_thread.frame.label
+            return ("HAL", "_idle_loop")
+        return self.current_execution_label()
+
+    def execution_context_stack(self) -> List[Tuple[str, str]]:
+        """The full context chain, outermost first.
+
+        What a stack-walking sampler (the paper's section 6.1 "walk the
+        stack so as to generate call trees") would reconstruct: the thread
+        at the bottom, then the DPC it was preempted by, then nested ISRs.
+        """
+        stack: List[Tuple[str, str]] = []
+        if self.current_thread is not None:
+            stack.append(self.current_thread.frame.label)
+        if self.dpc_frame is not None:
+            stack.append(self.dpc_frame.label)
+        for frame in self.isr_stack:
+            stack.append(frame.label)
+        if not stack:
+            stack.append(("HAL", "_idle_loop"))
+        return stack
+
+    def interrupts_enabled(self) -> bool:
+        frame = self._running_frame()
+        if frame is None:
+            return True
+        return not (frame.run_end is not None and frame.run_end.pending and self._run_cli)
+
+    # ==================================================================
+    # Interrupt delivery
+    # ==================================================================
+    def _request_interrupt_poll(self) -> None:
+        if self._int_poll_pending:
+            return
+        self._int_poll_pending = True
+        self.engine.schedule_at(self.engine.now, self._deferred_interrupt_poll)
+
+    def _deferred_interrupt_poll(self) -> None:
+        self._int_poll_pending = False
+        self._poll_interrupts()
+
+    def _poll_interrupts(self) -> bool:
+        """Deliver the best pending interrupt if the CPU can take it now."""
+        frame = self._running_frame()
+        if frame is not None and self._run_cli and frame.run_end is not None and frame.run_end.pending:
+            return False
+        vector = self.pic.highest_pending(self.current_irql())
+        if vector is None:
+            return False
+        self._deliver(vector)
+        return True
+
+    def _deliver(self, vector: InterruptVector) -> None:
+        asserted_at = self.pic.acknowledge(vector.name)
+        running = self._running_frame()
+        if running is not None:
+            self._pause_run(running)
+        factory = self._isr_factories.get(vector.name)
+        if factory is None:
+            # Spurious/unconnected interrupt: swallow with a tiny HAL cost.
+            factory = _spurious_isr_factory
+        frame = Frame(FrameKind.ISR, vector.irql, vector, "HAL", f"_{vector.name}_isr")
+        frame.gen = factory(self, vector, asserted_at)
+        self.isr_stack.append(frame)
+        self.stats.interrupts_delivered += 1
+        self.stats.per_vector[vector.name] = self.stats.per_vector.get(vector.name, 0) + 1
+        if len(self.isr_stack) > self.stats.isr_nest_max:
+            self.stats.isr_nest_max = len(self.isr_stack)
+        self.trace.emit(self.engine.now, "irq", f"deliver {vector.name}", irql=vector.irql)
+        # Charge the residual hardware latency plus software dispatch cost
+        # before the ISR's first instruction executes.
+        hw_residual = max(0, asserted_at + vector.latency_cycles - self.engine.now)
+        self._resume_frame(frame, extra_cycles=hw_residual + self.costs.isr_dispatch)
+
+    # ==================================================================
+    # Frame execution machinery
+    # ==================================================================
+    # _run_cli mirrors the cli flag of the *active* run segment; only the
+    # running frame can own an active segment, so one slot suffices.
+    _run_cli = False
+
+    def _begin_run(self, frame: Frame, cycles: int, cli: bool, label) -> None:
+        frame.run_label = label
+        self._run_cli = cli
+        frame.run_end = self.engine.schedule_in(cycles, self._run_complete, frame)
+        if not cli:
+            # A pending higher-IRQL interrupt may preempt immediately.
+            self._poll_interrupts()
+
+    def _pause_run(self, frame: Frame) -> None:
+        handle = frame.run_end
+        if handle is not None and handle.pending:
+            frame.run_remaining += handle.time - self.engine.now
+            handle.cancel()
+        frame.run_end = None
+
+    def _resume_frame(self, frame: Frame, extra_cycles: int = 0) -> None:
+        """Give the CPU to ``frame`` (it must be the running frame)."""
+        cycles = extra_cycles + frame.run_remaining
+        frame.run_remaining = 0
+        if cycles > 0:
+            self._begin_run(frame, cycles, cli=False, label=frame.run_label)
+        else:
+            self._continue_frame(frame)
+
+    def _run_complete(self, frame: Frame) -> None:
+        frame.run_end = None
+        self._run_cli = False
+        if frame.kind is FrameKind.THREAD:
+            thread = frame.owner
+            # Quantum may have expired while this segment was in a cli
+            # region or while interrupts had the CPU.
+            if self._maybe_rotate_quantum(thread):
+                return
+        self._continue_frame(frame)
+
+    def _continue_frame(self, frame: Frame) -> None:
+        if not frame.gen_started:
+            frame.gen_started = True
+        self._drive(frame)
+
+    def _drive(self, frame: Frame) -> None:
+        """Advance ``frame``'s generator until it runs, blocks or finishes."""
+        steps = 0
+        while True:
+            steps += 1
+            if steps > self.MAX_ZERO_TIME_STEPS:
+                raise KernelError(
+                    f"{frame!r} made {steps} zero-time steps; infinite loop in driver code?"
+                )
+            send_value, frame.send_value = frame.send_value, None
+            try:
+                request = frame.gen.send(send_value)
+            except StopIteration:
+                self._frame_finished(frame)
+                return
+            except (KernelError, BugCheck):
+                raise
+            except Exception as exc:
+                # A fault in kernel-mode code does not unwind: bugcheck.
+                self.bugchecked = True
+                raise BugCheck(
+                    stop_code=f"KMODE_EXCEPTION_NOT_HANDLED({type(exc).__name__})",
+                    context=frame.label,
+                    at_cycles=self.engine.now,
+                ) from exc
+            if isinstance(request, Run):
+                if request.cycles <= 0:
+                    continue
+                self._begin_run(frame, request.cycles, request.cli, request.label)
+                return
+            if isinstance(request, Wait):
+                if self._handle_wait(frame, request):
+                    continue  # satisfied without blocking
+                return  # blocked; scheduler already ran
+            if isinstance(request, WaitAny):
+                if self._handle_wait_any(frame, request):
+                    continue
+                return
+            raise KernelError(f"unknown request {request!r} from {frame!r}")
+
+    def _frame_finished(self, frame: Frame) -> None:
+        if frame.kind is FrameKind.ISR:
+            popped = self.isr_stack.pop()
+            if popped is not frame:  # pragma: no cover - invariant
+                raise KernelError("ISR stack corruption")
+            self._unwind()
+        elif frame.kind is FrameKind.DPC:
+            self.dpc_frame = None
+            self.stats.dpcs_executed += 1
+            self._unwind()
+        else:
+            thread: KThread = frame.owner
+            thread.state = ThreadState.TERMINATED
+            self.trace.emit(self.engine.now, "thread", f"exit {thread.name}")
+            if self.current_thread is thread:
+                self.current_thread = None
+                self._cancel_quantum()
+            self._unwind()
+
+    def _unwind(self) -> None:
+        """After any frame transition: interrupts, then DPCs, then threads."""
+        if self._poll_interrupts():
+            return
+        if self.isr_stack:
+            self._resume_frame(self.isr_stack[-1])
+            return
+        if self._maybe_start_dpc_drain():
+            return
+        self._dispatch()
+
+    # ==================================================================
+    # DPC drain
+    # ==================================================================
+    def _dpc_blocked_by_thread(self) -> bool:
+        cur = self.current_thread
+        return (
+            cur is not None
+            and cur.frame.irql >= irql_mod.DISPATCH_LEVEL
+            and cur.state is ThreadState.RUNNING
+        )
+
+    def _maybe_start_dpc_drain(self) -> bool:
+        """Resume or begin DPC draining if possible.  ISR stack must be empty."""
+        if self.dpc_frame is not None:
+            self._resume_frame(self.dpc_frame)
+            return True
+        if not self.dpc_queue or self._dpc_blocked_by_thread():
+            return False
+        if self.current_thread is not None:
+            self._pause_run(self.current_thread.frame)
+        dpc = self.dpc_queue.pop()
+        assert dpc is not None
+        frame = Frame(FrameKind.DPC, irql_mod.DISPATCH_LEVEL, dpc, dpc.module, dpc.name)
+        frame.gen = self._dpc_body(dpc)
+        self.dpc_frame = frame
+        self.trace.emit(self.engine.now, "dpc", f"run {dpc.name}")
+        self._resume_frame(frame, extra_cycles=self.costs.dpc_dispatch)
+        return True
+
+    def _dpc_body(self, dpc: Dpc):
+        dpc.run_count += 1
+        routine = dpc.routine(self, dpc)
+        if routine is not None:
+            yield_from_target = routine
+            for item in yield_from_target:
+                yield item
+
+    # ==================================================================
+    # Waits and wakes
+    # ==================================================================
+    def _handle_wait(self, frame: Frame, request: Wait) -> bool:
+        """Returns True if the wait was satisfied without blocking."""
+        if frame.kind is not FrameKind.THREAD:
+            raise KernelError(f"Wait from {frame.kind.value} context is illegal in WDM")
+        thread: KThread = frame.owner
+        obj: DispatcherObject = request.obj
+        if obj.can_satisfy(thread):
+            obj.consume(thread)
+            frame.send_value = WaitStatus.OBJECT
+            thread.waits_satisfied += 1
+            self.stats.waits_immediate += 1
+            return True
+        # Block.
+        thread.state = ThreadState.WAITING
+        thread.waiting_on = obj
+        obj.add_waiter(thread)
+        if request.timeout_ms is not None:
+            thread.wait_timeout_handle = self.engine.schedule_in(
+                self.clock.ms_to_cycles(request.timeout_ms), self._wait_timeout, thread
+            )
+        self.stats.waits_blocked += 1
+        self.trace.emit(self.engine.now, "thread", f"block {thread.name}", on=obj.name)
+        self.current_thread = None
+        self._cancel_quantum()
+        self._dispatch()
+        return False
+
+    def _handle_wait_any(self, frame: Frame, request: WaitAny) -> bool:
+        """Returns True if some object satisfied the wait without blocking."""
+        if frame.kind is not FrameKind.THREAD:
+            raise KernelError(f"WaitAny from {frame.kind.value} context is illegal in WDM")
+        thread: KThread = frame.owner
+        for index, obj in enumerate(request.objs):
+            if obj.can_satisfy(thread):
+                obj.consume(thread)
+                frame.send_value = (WaitStatus.OBJECT, index)
+                thread.waits_satisfied += 1
+                self.stats.waits_immediate += 1
+                return True
+        # Block on all of them.
+        thread.state = ThreadState.WAITING
+        thread.waiting_on = request.objs[0]
+        thread.wait_any_objs = tuple(request.objs)
+        for obj in request.objs:
+            obj.add_waiter(thread)
+        if request.timeout_ms is not None:
+            thread.wait_timeout_handle = self.engine.schedule_in(
+                self.clock.ms_to_cycles(request.timeout_ms), self._wait_timeout, thread
+            )
+        self.stats.waits_blocked += 1
+        self.trace.emit(
+            self.engine.now, "thread", f"block-any {thread.name}",
+            on=",".join(o.name for o in request.objs),
+        )
+        self.current_thread = None
+        self._cancel_quantum()
+        self._dispatch()
+        return False
+
+    def _wait_timeout(self, thread: KThread) -> None:
+        if thread.state is not ThreadState.WAITING:
+            return
+        for obj in self._objects_thread_waits_on(thread):
+            obj.remove_waiter(thread)
+        thread.wait_timeout_handle = None
+        self.stats.wait_timeouts += 1
+        self._make_ready(thread, WaitStatus.TIMEOUT, wake_obj=None)
+
+    def _release_waiters(self, obj: DispatcherObject) -> None:
+        woken = obj.take_waiters_to_wake()
+        for thread in woken:
+            if thread.wait_timeout_handle is not None:
+                thread.wait_timeout_handle.cancel()
+                thread.wait_timeout_handle = None
+            self._make_ready(thread, WaitStatus.OBJECT, wake_obj=obj)
+
+    def _objects_thread_waits_on(self, thread: KThread):
+        if thread.wait_any_objs is not None:
+            return thread.wait_any_objs
+        if thread.waiting_on is not None:
+            return (thread.waiting_on,)
+        return ()
+
+    def _make_ready(
+        self, thread: KThread, status: WaitStatus, wake_obj: Optional[DispatcherObject]
+    ) -> None:
+        if thread.wait_any_objs is not None:
+            # Withdraw from the other objects of a multi-wait.
+            for obj in thread.wait_any_objs:
+                if obj is not wake_obj:
+                    obj.remove_waiter(thread)
+            if status is WaitStatus.TIMEOUT:
+                thread.frame.send_value = (WaitStatus.TIMEOUT, None)
+            else:
+                index = thread.wait_any_objs.index(wake_obj)
+                thread.frame.send_value = (WaitStatus.OBJECT, index)
+            thread.wait_any_objs = None
+        else:
+            thread.frame.send_value = status
+        thread.waiting_on = None
+        thread.state = ThreadState.READY
+        thread.waits_satisfied += 1
+        if status is WaitStatus.OBJECT:
+            self._apply_wait_boost(thread)
+        self.ready.enqueue(thread)
+        self.trace.emit(self.engine.now, "thread", f"ready {thread.name}")
+        self._request_schedule_point()
+
+    # ==================================================================
+    # Scheduling
+    # ==================================================================
+    def _request_schedule_point(self) -> None:
+        """Arrange a zero-time dispatcher check after the current event."""
+        if self._sched_point_pending:
+            return
+        self._sched_point_pending = True
+        self.engine.schedule_at(self.engine.now, self._schedule_point)
+
+    def _schedule_point(self) -> None:
+        self._sched_point_pending = False
+        if self.isr_stack or self.dpc_frame is not None:
+            return  # interrupt unwind will re-evaluate
+        cur = self.current_thread
+        if self.dpc_queue and not self._dpc_blocked_by_thread():
+            self._maybe_start_dpc_drain()
+            return
+        if cur is None:
+            self._dispatch()
+            return
+        if cur.frame.irql >= irql_mod.DISPATCH_LEVEL:
+            return  # raised-IRQL thread is not preemptible by the scheduler
+        if self.ready.highest_priority() > cur.priority:
+            self._pause_run(cur.frame)
+            self._dispatch()
+
+    def _dispatch(self) -> None:
+        """Pick the next thread.  ISR stack and DPC frame must be idle."""
+        cur = self.current_thread
+        if cur is not None and not cur.runnable:
+            self.current_thread = None
+            cur = None
+        if cur is not None and cur.frame.irql >= irql_mod.DISPATCH_LEVEL:
+            self._resume_frame(cur.frame)
+            return
+        top = self.ready.highest_priority()
+        if cur is None:
+            if top < 0:
+                self.stats.idle_entries += 1
+                return  # CPU idle; interrupts will wake us
+            self._switch_to(self.ready.pop_highest())
+            return
+        if top > cur.priority:
+            # Preempt: the paused current thread goes to the head of its level.
+            self._pause_run(cur.frame)
+            self._cancel_quantum()
+            cur.state = ThreadState.READY
+            self.ready.enqueue(cur, front=True)
+            self.stats.thread_preemptions += 1
+            self._switch_to(self.ready.pop_highest())
+            return
+        if cur.quantum_expired_flag and self.ready.has_ready_at(cur.priority):
+            self._rotate_quantum(cur)
+            return
+        cur.quantum_expired_flag = False
+        self._resume_frame(cur.frame)
+
+    def _switch_to(self, thread: KThread) -> None:
+        assert thread is not None
+        previous = self.current_thread
+        thread.state = ThreadState.RUNNING
+        thread.dispatches += 1
+        thread.quantum_expired_flag = False
+        self.current_thread = thread
+        self._start_quantum(thread)
+        self.stats.context_switches += 1
+        self.trace.emit(self.engine.now, "sched", f"switch {thread.name}", prio=thread.priority)
+        cost = self.costs.context_switch if previous is not thread else 0
+        self._resume_frame(thread.frame, extra_cycles=cost)
+
+    # -- quantum ------------------------------------------------------
+    def _start_quantum(self, thread: KThread) -> None:
+        self._cancel_quantum()
+        self._quantum_handle = self.engine.schedule_in(
+            self.costs.quantum, self._quantum_fire, thread
+        )
+
+    def _cancel_quantum(self) -> None:
+        if self._quantum_handle is not None:
+            self._quantum_handle.cancel()
+            self._quantum_handle = None
+
+    def _quantum_fire(self, thread: KThread) -> None:
+        self._quantum_handle = None
+        if thread is not self.current_thread or thread.state is not ThreadState.RUNNING:
+            return
+        thread.quantum_expiries += 1
+        if self.isr_stack or self.dpc_frame is not None or self._run_cli:
+            # Can't reschedule from here; note it and let the next
+            # transition handle the rotation.
+            thread.quantum_expired_flag = True
+            return
+        if thread.frame.irql >= irql_mod.DISPATCH_LEVEL:
+            thread.quantum_expired_flag = True
+            return
+        if self.ready.has_ready_at(thread.priority) or thread.priority > thread.base_priority:
+            # Rotate among peers, or let an expired boost decay a level
+            # (which may itself surrender the CPU to a newly-equal peer).
+            self._pause_run(thread.frame)
+            self._rotate_quantum(thread)
+        else:
+            self._start_quantum(thread)
+
+    def _rotate_quantum(self, thread: KThread) -> None:
+        """Round-robin: expired thread to the tail of its priority level."""
+        thread.quantum_expired_flag = False
+        self._cancel_quantum()
+        thread.state = ThreadState.READY
+        self._decay_boost(thread)
+        self.ready.enqueue(thread, front=False)
+        self.current_thread = None
+        self.stats.quantum_rotations += 1
+        self._dispatch()
+
+    def _maybe_rotate_quantum(self, thread: KThread) -> bool:
+        """Deferred quantum handling at a run-segment boundary."""
+        if not thread.quantum_expired_flag:
+            return False
+        if thread is not self.current_thread:
+            thread.quantum_expired_flag = False
+            return False
+        if thread.frame.irql >= irql_mod.DISPATCH_LEVEL:
+            return False
+        if self.ready.has_ready_at(thread.priority):
+            self._rotate_quantum(thread)
+            return True
+        thread.quantum_expired_flag = False
+        self._start_quantum(thread)
+        return False
+
+    # ==================================================================
+    # Clock (PIT) ISR
+    # ==================================================================
+    def _clock_isr_factory(self, kernel: "Kernel", vector: InterruptVector, asserted_at: int):
+        # `kernel` is self; signature matches IsrFactory for uniformity.
+        return self._clock_isr(vector, asserted_at)
+
+    def _clock_isr(self, vector: InterruptVector, asserted_at: int):
+        self.last_clock_assert = asserted_at
+        for hook in self._pit_hooks:
+            hook(self, asserted_at)
+        yield Run(self.costs.clock_isr, label=("HAL", "_clock_isr"))
+        expired = self._collect_expired_timers()
+        if expired:
+            yield Run(self.costs.timer_expiry * len(expired), label=("NTKERN", "_KiTimerExpiry"))
+            for timer in expired:
+                self._fire_timer(timer)
+
+    def _collect_expired_timers(self) -> List[KTimer]:
+        now = self.engine.now
+        expired = [t for t in self._timers if t.due_cycles is not None and t.due_cycles <= now]
+        return expired
+
+    def _fire_timer(self, timer: KTimer) -> None:
+        if timer not in self._timers or timer.due_cycles is None:
+            return  # cancelled between collection and firing
+        if timer.due_cycles > self.engine.now:
+            return  # re-armed for the future in the meantime
+        timer.expirations += 1
+        self.stats.timer_expirations += 1
+        timer.signaled = True
+        if timer.period_ms is not None:
+            timer.due_cycles = self.engine.now + self.clock.ms_to_cycles(timer.period_ms)
+        else:
+            timer.due_cycles = None
+            self._timers.remove(timer)
+        if timer.dpc is not None:
+            self.queue_dpc(timer.dpc, context=timer)
+        self._release_waiters(timer)
+
+
+def _spurious_isr_factory(kernel: Kernel, vector: InterruptVector, asserted_at: int):
+    yield Run(kernel.clock.us_to_cycles(1.0), label=("HAL", "_spurious_interrupt"))

@@ -1,0 +1,89 @@
+"""Yieldable requests for schedulable kernel activities.
+
+Kernel-mode code in the simulator is written as a Python generator that
+yields these request objects.  Only two operations need to suspend the
+caller and are therefore yields:
+
+* :class:`Run` -- consume CPU cycles (possibly with interrupts disabled);
+* :class:`Wait` -- block the current *thread* on a dispatcher object.
+
+Everything else (``KeSetEvent``, ``KeInsertQueueDpc``, ``KeSetTimer``,
+reading the TSC, ...) takes zero simulated time and is invoked as a direct
+method call on the :class:`repro.kernel.kernel.Kernel` between yields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Run:
+    """Consume ``cycles`` cycles of CPU time.
+
+    Attributes:
+        cycles: CPU cycles to burn.  Zero/negative values complete
+            instantly.
+        cli: When ``True``, interrupts are disabled for the whole segment
+            (the segment cannot be preempted by anything).  Models
+            ``cli``/``sti`` critical regions; the dominant source of
+            interrupt latency in the paper's data.
+        label: Optional ``(module, function)`` pair naming the code that is
+            "executing".  The latency-cause tool samples these labels, which
+            is how Table 4's module+function traces are produced.
+    """
+
+    cycles: int
+    cli: bool = False
+    label: Optional[tuple] = None
+
+    def __post_init__(self):
+        if self.cycles < 0:
+            raise ValueError(f"Run cycles must be non-negative, got {self.cycles}")
+
+
+@dataclass(frozen=True)
+class Wait:
+    """Block the current thread on a dispatcher object.
+
+    Only legal from thread context (ISRs and DPCs must not block, exactly
+    as in WDM).  The value sent back into the generator is a
+    :class:`repro.kernel.objects.WaitStatus`.
+
+    Attributes:
+        obj: The dispatcher object (event, semaphore, mutex, timer) to
+            wait on.
+        timeout_ms: Optional timeout in milliseconds; ``None`` waits
+            forever (the paper's ``WaitForObject(gEvent, FOREVER)``).
+    """
+
+    obj: object
+    timeout_ms: Optional[float] = None
+
+    def __post_init__(self):
+        if self.timeout_ms is not None and self.timeout_ms < 0:
+            raise ValueError(f"timeout must be non-negative, got {self.timeout_ms}")
+
+
+@dataclass(frozen=True)
+class WaitAny:
+    """``KeWaitForMultipleObjects(WaitAny)``: block until any object fires.
+
+    The value sent back into the generator is ``(WaitStatus.OBJECT, index)``
+    identifying which object satisfied the wait, or
+    ``(WaitStatus.TIMEOUT, None)``.
+
+    Attributes:
+        objs: The dispatcher objects, in index order.
+        timeout_ms: Optional timeout in milliseconds.
+    """
+
+    objs: tuple
+    timeout_ms: Optional[float] = None
+
+    def __post_init__(self):
+        if not self.objs:
+            raise ValueError("WaitAny needs at least one object")
+        if self.timeout_ms is not None and self.timeout_ms < 0:
+            raise ValueError(f"timeout must be non-negative, got {self.timeout_ms}")

@@ -1,0 +1,70 @@
+"""Cycle/time conversions for the simulated CPU.
+
+The paper's testbed is a 300 MHz Pentium II, so the default clock runs at
+300 cycles per microsecond.  All simulation time-keeping is integral cycles;
+this module centralises the conversions so the rest of the code can speak in
+milliseconds and microseconds where that is more natural.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CpuClock:
+    """Conversion helper pinned to a CPU frequency.
+
+    Attributes:
+        hz: CPU frequency in cycles per second.  Defaults to the paper's
+            300 MHz Pentium II.
+    """
+
+    hz: int = 300_000_000
+
+    def __post_init__(self) -> None:
+        if self.hz <= 0:
+            raise ValueError(f"CPU frequency must be positive, got {self.hz}")
+
+    # ------------------------------------------------------------------
+    # Time -> cycles
+    # ------------------------------------------------------------------
+    def s_to_cycles(self, seconds: float) -> int:
+        """Convert seconds to an integer cycle count (rounded)."""
+        return int(round(seconds * self.hz))
+
+    def ms_to_cycles(self, ms: float) -> int:
+        """Convert milliseconds to an integer cycle count (rounded)."""
+        return int(round(ms * self.hz / 1_000.0))
+
+    def us_to_cycles(self, us: float) -> int:
+        """Convert microseconds to an integer cycle count (rounded)."""
+        return int(round(us * self.hz / 1_000_000.0))
+
+    # ------------------------------------------------------------------
+    # Cycles -> time
+    # ------------------------------------------------------------------
+    def cycles_to_s(self, cycles: int) -> float:
+        """Convert a cycle count to seconds."""
+        return cycles / self.hz
+
+    def cycles_to_ms(self, cycles: int) -> float:
+        """Convert a cycle count to milliseconds."""
+        return cycles * 1_000.0 / self.hz
+
+    def cycles_to_us(self, cycles: int) -> float:
+        """Convert a cycle count to microseconds."""
+        return cycles * 1_000_000.0 / self.hz
+
+    # ------------------------------------------------------------------
+    # Frequencies
+    # ------------------------------------------------------------------
+    def period_cycles(self, frequency_hz: float) -> int:
+        """Cycle count of one period of a ``frequency_hz`` oscillator."""
+        if frequency_hz <= 0:
+            raise ValueError(f"frequency must be positive, got {frequency_hz}")
+        return max(1, int(round(self.hz / frequency_hz)))
+
+
+#: The paper's reference clock (300 MHz Pentium II).
+PENTIUM_II_300 = CpuClock(hz=300_000_000)

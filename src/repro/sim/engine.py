@@ -1,0 +1,204 @@
+"""A deterministic discrete-event simulation engine.
+
+Time is an integer number of CPU cycles.  Events scheduled for the same
+cycle fire in insertion order (a monotonically increasing sequence number
+breaks ties), which keeps runs fully deterministic.
+
+The engine deliberately knows nothing about CPUs, kernels or interrupts --
+it is a plain priority queue of callbacks.  Cancellation is handled lazily:
+:meth:`EventHandle.cancel` marks the handle and the main loop discards
+cancelled entries as they surface, which keeps both operations O(log n).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised when the engine is used inconsistently.
+
+    Examples include scheduling an event in the simulated past or running a
+    finished engine.
+    """
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event.
+
+    Handles are returned by :meth:`Engine.schedule_at` /
+    :meth:`Engine.schedule_in`.  They are single-use: once the event has
+    fired or been cancelled the handle is inert.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired")
+
+    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: Tuple[Any, ...]):
+        self.time = time
+        self.seq = seq
+        self.fn: Optional[Callable[..., Any]] = fn
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> bool:
+        """Cancel the event.
+
+        Returns ``True`` if the event was still pending, ``False`` if it had
+        already fired or been cancelled (in which case this is a no-op).
+        """
+        if self.fired or self.cancelled:
+            return False
+        self.cancelled = True
+        self.fn = None  # break reference cycles early
+        self.args = ()
+        return True
+
+    @property
+    def pending(self) -> bool:
+        """Whether the event is still waiting to fire."""
+        return not (self.fired or self.cancelled)
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        return f"<EventHandle t={self.time} seq={self.seq} {state}>"
+
+
+class Engine:
+    """The discrete-event simulator.
+
+    Attributes:
+        now: Current simulated time in CPU cycles.  Monotonically
+            non-decreasing.
+        events_processed: Count of events that have fired, for diagnostics
+            and performance reporting.
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self.events_processed: int = 0
+        self._heap: List[EventHandle] = []
+        self._seq: int = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(self, time: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to run at absolute cycle ``time``."""
+        time = int(time)
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at cycle {time}; current time is {self.now}"
+            )
+        self._seq += 1
+        handle = EventHandle(time, self._seq, fn, args)
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def schedule_in(self, delay: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to run ``delay`` cycles from now."""
+        delay = int(delay)
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _pop_next(self) -> Optional[EventHandle]:
+        heap = self._heap
+        while heap:
+            handle = heapq.heappop(heap)
+            if not handle.cancelled:
+                return handle
+        return None
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the next pending event, or ``None`` if the queue is empty."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None
+
+    def step(self) -> bool:
+        """Fire the single next event.
+
+        Returns ``False`` when no pending events remain.
+        """
+        handle = self._pop_next()
+        if handle is None:
+            return False
+        self.now = handle.time
+        handle.fired = True
+        fn, args = handle.fn, handle.args
+        handle.fn = None
+        handle.args = ()
+        self.events_processed += 1
+        assert fn is not None
+        fn(*args)
+        return True
+
+    def run_until(self, time: int, max_events: Optional[int] = None) -> int:
+        """Run events until simulated time reaches ``time`` cycles.
+
+        Events scheduled exactly at ``time`` are executed.  The clock is
+        advanced to ``time`` even if the queue drains early, so back-to-back
+        ``run_until`` calls tile cleanly.
+
+        Args:
+            time: Absolute target time in cycles.
+            max_events: Optional safety valve; raises
+                :class:`SimulationError` if more than this many events fire.
+
+        Returns:
+            The number of events processed during this call.
+        """
+        time = int(time)
+        if time < self.now:
+            raise SimulationError(f"cannot run backwards to {time} from {self.now}")
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while True:
+                next_time = self.peek_time()
+                if next_time is None or next_time > time:
+                    break
+                self.step()
+                fired += 1
+                if max_events is not None and fired > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} before reaching cycle {time}"
+                    )
+        finally:
+            self._running = False
+        if self.now < time:
+            self.now = time
+        return fired
+
+    def run_for(self, cycles: int, max_events: Optional[int] = None) -> int:
+        """Run for ``cycles`` cycles from the current time."""
+        return self.run_until(self.now + int(cycles), max_events=max_events)
+
+    def drain(self, max_events: int = 1_000_000) -> int:
+        """Run until the event queue is empty (bounded by ``max_events``)."""
+        fired = 0
+        while self.step():
+            fired += 1
+            if fired > max_events:
+                raise SimulationError(f"drain exceeded {max_events} events")
+        return fired
+
+    @property
+    def pending_count(self) -> int:
+        """Number of non-cancelled events still queued (O(n))."""
+        return sum(1 for h in self._heap if not h.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Engine now={self.now} pending={len(self._heap)}>"

@@ -1,0 +1,86 @@
+"""Structured simulation tracing.
+
+The trace log is optional (disabled by default for speed) and records
+``(time_cycles, category, message, payload)`` tuples.  Tests use it to
+assert on fine-grained ordering (e.g. "the ISR ran before the DPC, which
+ran before the thread") and the latency-cause tool builds on the same
+labelling conventions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry."""
+
+    time: int
+    category: str
+    message: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceLog:
+    """An in-memory, bounded trace buffer.
+
+    Attributes:
+        enabled: When ``False`` (the default), :meth:`emit` is a no-op so
+            hot paths pay only an attribute check.
+        capacity: Maximum records retained; the oldest are dropped first.
+    """
+
+    def __init__(self, enabled: bool = False, capacity: int = 100_000):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.enabled = enabled
+        self.capacity = capacity
+        self._records: List[TraceRecord] = []
+        self.dropped = 0
+
+    def emit(self, time: int, category: str, message: str, **payload: Any) -> None:
+        """Record one event (no-op when disabled)."""
+        if not self.enabled:
+            return
+        if len(self._records) >= self.capacity:
+            # Drop the oldest half in one go; amortises the cost.
+            drop = self.capacity // 2
+            del self._records[:drop]
+            self.dropped += drop
+        self._records.append(TraceRecord(time, category, message, dict(payload)))
+
+    def records(self, category: Optional[str] = None) -> List[TraceRecord]:
+        """All retained records, optionally filtered by category."""
+        if category is None:
+            return list(self._records)
+        return [r for r in self._records if r.category == category]
+
+    def clear(self) -> None:
+        self._records.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def format(self, clock=None, limit: int = 200) -> str:
+        """Human-readable dump of the last ``limit`` records.
+
+        Args:
+            clock: Optional :class:`repro.sim.clock.CpuClock`; when given,
+                times are printed in milliseconds instead of raw cycles.
+            limit: Maximum number of records to include.
+        """
+        lines = []
+        for record in self._records[-limit:]:
+            if clock is not None:
+                stamp = f"{clock.cycles_to_ms(record.time):12.4f}ms"
+            else:
+                stamp = f"{record.time:>14d}cy"
+            extras = " ".join(f"{k}={v}" for k, v in record.payload.items())
+            lines.append(f"{stamp} [{record.category:>10s}] {record.message} {extras}".rstrip())
+        return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""The Windows Driver Model surface.
+
+A deliberately thin but faithful model of the WDM objects the paper's
+measurement tools touch: I/O Request Packets with an
+``AssociatedIrp.SystemBuffer``, driver objects with major-function dispatch
+tables, ``IoCompleteRequest``, and a user-mode ``ReadFileEx`` shim through
+which the control application receives latency records.
+
+Drivers written against this API are "binary portable" between the two OS
+personalities in exactly the paper's sense: the same Python driver object
+runs unmodified on the NT 4.0 and Windows 98 kernels.
+"""
+
+from repro.wdm.driver import DeviceObject, DriverObject, IoManager
+from repro.wdm.irp import Irp, IrpMajorFunction, IrpStatus
+
+__all__ = [
+    "DeviceObject",
+    "DriverObject",
+    "IoManager",
+    "Irp",
+    "IrpMajorFunction",
+    "IrpStatus",
+]

@@ -1,0 +1,128 @@
+"""Driver objects and the I/O manager.
+
+Dispatch routines run synchronously in the requesting context (zero
+simulated time -- sound because they only do zero-time kernel calls such as
+reading the TSC and arming a timer, exactly like the paper's ``LatRead``).
+``IoCompleteRequest`` delivers the user-mode completion callback, the
+analogue of the APC that ``ReadFileEx`` registers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.kernel.kernel import Kernel
+from repro.wdm.irp import Irp, IrpMajorFunction, IrpStatus
+
+#: A dispatch routine: ``dispatch(kernel, device, irp) -> None``.
+DispatchRoutine = Callable[[Kernel, "DeviceObject", Irp], None]
+
+
+class DriverObject:
+    """A loaded driver: name plus major-function dispatch table."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.major_function: Dict[IrpMajorFunction, DispatchRoutine] = {}
+        self.devices = []
+
+    def set_dispatch(self, major: IrpMajorFunction, routine: DispatchRoutine) -> None:
+        self.major_function[major] = routine
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<DriverObject {self.name!r}>"
+
+
+class DeviceObject:
+    """A device exposed by a driver (``\\\\.\\LatTool`` style)."""
+
+    def __init__(self, driver: DriverObject, name: str):
+        self.driver = driver
+        self.name = name
+        driver.devices.append(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<DeviceObject {self.name!r} of {self.driver.name!r}>"
+
+
+class IoManager:
+    """Routes IRPs to drivers and completes them back to user mode."""
+
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+        self.irps_dispatched = 0
+        self.irps_completed = 0
+        self._drivers: Dict[str, DriverObject] = {}
+        self._devices: Dict[str, DeviceObject] = {}
+
+    # ------------------------------------------------------------------
+    # Driver lifecycle
+    # ------------------------------------------------------------------
+    def load_driver(
+        self, name: str, driver_entry: Callable[[Kernel, DriverObject], None]
+    ) -> DriverObject:
+        """Load a driver: create its object and run ``DriverEntry``.
+
+        ``DriverEntry`` runs at load time in zero simulated time, mirroring
+        the paper's section 2.2.1 (create timer/event/thread, set the PIT
+        interval).
+        """
+        if name in self._drivers:
+            raise ValueError(f"driver {name!r} already loaded")
+        driver = DriverObject(name)
+        driver_entry(self.kernel, driver)
+        self._drivers[name] = driver
+        for device in driver.devices:
+            if device.name in self._devices:
+                raise ValueError(f"device name {device.name!r} already exists")
+            self._devices[device.name] = device
+        return driver
+
+    def device(self, name: str) -> DeviceObject:
+        return self._devices[name]
+
+    # ------------------------------------------------------------------
+    # I/O path
+    # ------------------------------------------------------------------
+    def call_driver(self, device: DeviceObject, irp: Irp) -> None:
+        """``IoCallDriver``: hand an IRP to the owning driver."""
+        routine = device.driver.major_function.get(irp.major)
+        if routine is None:
+            irp.status = IrpStatus.INVALID_REQUEST
+            self._deliver_completion(irp)
+            return
+        self.irps_dispatched += 1
+        routine(self.kernel, device, irp)
+
+    def complete_request(self, irp: Irp, status: IrpStatus = IrpStatus.SUCCESS) -> None:
+        """``IoCompleteRequest``: finish an IRP, notifying user mode."""
+        if irp.completed:
+            raise RuntimeError(f"double completion of {irp!r}")
+        irp.status = status
+        irp.completed_at = self.kernel.engine.now
+        self.irps_completed += 1
+        self._deliver_completion(irp)
+
+    def _deliver_completion(self, irp: Irp) -> None:
+        if irp.completion is not None:
+            irp.completion(irp)
+
+    # ------------------------------------------------------------------
+    # User-mode shim
+    # ------------------------------------------------------------------
+    def read_file_ex(
+        self,
+        device: DeviceObject,
+        buffer_slots: int,
+        completion: Callable[[Irp], None],
+    ) -> Irp:
+        """The Win32 ``ReadFileEx`` analogue the control apps use.
+
+        Builds a READ IRP whose ``SystemBuffer`` has ``buffer_slots``
+        LARGE_INTEGER slots and dispatches it; ``completion`` fires when the
+        driver completes the request (the paper's latency records travel
+        back this way).
+        """
+        irp = Irp(IrpMajorFunction.READ, buffer_slots=buffer_slots, completion=completion)
+        self.call_driver(device, irp)
+        return irp

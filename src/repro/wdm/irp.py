@@ -1,0 +1,82 @@
+"""I/O Request Packets.
+
+"Each user mode call to a Win32 driver interface function (e.g. Read)
+generates an IRP that is passed to the appropriate driver routine"
+(section 2.2).  The paper's tools move their three timestamps through
+``IRP->AssociatedIrp.SystemBuffer`` (abbreviated ``IRP->ASB`` and treated
+as an array of ``LARGE_INTEGER``); the :class:`Irp` here exposes the same
+shape.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Callable, List, Optional
+
+
+class IrpMajorFunction(enum.Enum):
+    CREATE = "IRP_MJ_CREATE"
+    READ = "IRP_MJ_READ"
+    WRITE = "IRP_MJ_WRITE"
+    DEVICE_CONTROL = "IRP_MJ_DEVICE_CONTROL"
+    CLOSE = "IRP_MJ_CLOSE"
+
+
+class IrpStatus(enum.Enum):
+    PENDING = "STATUS_PENDING"
+    SUCCESS = "STATUS_SUCCESS"
+    CANCELLED = "STATUS_CANCELLED"
+    INVALID_REQUEST = "STATUS_INVALID_DEVICE_REQUEST"
+
+
+class _AssociatedIrp:
+    """Mirror of the ``AssociatedIrp`` union: just the SystemBuffer."""
+
+    __slots__ = ("SystemBuffer",)
+
+    def __init__(self, buffer_slots: int):
+        self.SystemBuffer: List[int] = [0] * buffer_slots
+
+
+_irp_ids = itertools.count(1)
+
+
+class Irp:
+    """One I/O request.
+
+    Attributes:
+        major: The major function being requested.
+        AssociatedIrp: Holder whose ``SystemBuffer`` is the data exchange
+            area with user mode (the paper's ``IRP->ASB``).
+        status: Completion status; ``PENDING`` until completed.
+        completion: User-mode completion callback (the APC that
+            ``ReadFileEx`` registers); called by ``IoCompleteRequest``.
+    """
+
+    def __init__(
+        self,
+        major: IrpMajorFunction,
+        buffer_slots: int = 4,
+        completion: Optional[Callable[["Irp"], None]] = None,
+    ):
+        if buffer_slots < 0:
+            raise ValueError(f"buffer_slots must be non-negative, got {buffer_slots}")
+        self.id = next(_irp_ids)
+        self.major = major
+        self.AssociatedIrp = _AssociatedIrp(buffer_slots)
+        self.status = IrpStatus.PENDING
+        self.completion = completion
+        self.completed_at: Optional[int] = None
+
+    @property
+    def system_buffer(self) -> List[int]:
+        """Convenience alias for ``AssociatedIrp.SystemBuffer``."""
+        return self.AssociatedIrp.SystemBuffer
+
+    @property
+    def completed(self) -> bool:
+        return self.status is not IrpStatus.PENDING
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Irp #{self.id} {self.major.value} {self.status.value}>"

@@ -1,0 +1,29 @@
+"""Application stress loads (section 3.1).
+
+The paper stresses the system with four application categories and measures
+latency distributions under each:
+
+* **office** -- the Business Winstone 97 benchmark (databases, publishing,
+  word processing/spreadsheets), MS-Test-driven at super-human speed;
+* **workstation** -- the High-End Winstone 97 benchmark (mechanical CAD,
+  photo editing, software engineering);
+* **games** -- 3D games that run on both OSes (Freespace Descent, Unreal);
+* **web** -- web browsing with enhanced audio/video over fast Ethernet.
+
+Each workload is expressed as a per-OS :class:`~repro.kernel.intrusions.LoadProfile`
+whose rates and duration distributions are calibrated so that the emergent
+latency distributions match the paper's Table 3 / Figure 4 shapes.  The
+*same* workload induces radically different kernel behaviour on the two
+OSes -- e.g. a file-copy burst holds a Windows 98 VMM section for tens of
+milliseconds but only a short executive lock on NT -- which is precisely
+the paper's point.
+
+:mod:`repro.workloads.perturbations` adds the Plus! Pack virus scanner and
+the Windows sound schemes (section 4.3/4.4); :mod:`repro.workloads.throughput`
+implements the Winstone-style batch macrobenchmark used in section 4.2's
+"throughput does not reveal this" argument.
+"""
+
+from repro.workloads.base import Workload, get_workload, workload_names
+
+__all__ = ["Workload", "get_workload", "workload_names"]

@@ -1,0 +1,84 @@
+"""Workload abstraction and registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.kernel.intrusions import LoadProfile
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named stress load with one calibrated profile per OS.
+
+    Attributes:
+        name: Registry key ("office", "workstation", "games", "web",
+            "idle").
+        description: What the load models (the paper's section 3.1 text).
+        profiles: Mapping from OS name to the calibrated
+            :class:`~repro.kernel.intrusions.LoadProfile`.
+        stress_hours_equivalent: The paper's estimate of how many hours of
+            real heavy use one hour of this (time-compressed) load
+            represents -- e.g. Business Winstone at MS-Test speed is >= 10x
+            human input speed.
+    """
+
+    name: str
+    description: str
+    profiles: Mapping[str, LoadProfile]
+    stress_hours_equivalent: float = 1.0
+
+    #: OSes that reuse another OS's workload profile when they have none of
+    #: their own.  Windows 2000 is NT-derived: the same application load
+    #: induces NT-shaped kernel activity on it.
+    PROFILE_FALLBACKS = {"win2k": "nt4"}
+
+    def profile_for(self, os_name: str) -> LoadProfile:
+        if os_name in self.profiles:
+            return self.profiles[os_name]
+        fallback = self.PROFILE_FALLBACKS.get(os_name)
+        if fallback is not None and fallback in self.profiles:
+            return self.profiles[fallback]
+        raise KeyError(
+            f"workload {self.name!r} has no profile for OS {os_name!r}; "
+            f"available: {sorted(self.profiles)}"
+        )
+
+
+_REGISTRY: Dict[str, Workload] = {}
+
+
+def register_workload(workload: Workload) -> Workload:
+    if workload.name in _REGISTRY:
+        raise ValueError(f"workload {workload.name!r} already registered")
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def get_workload(name: str) -> Workload:
+    _ensure_builtin_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def workload_names() -> Tuple[str, ...]:
+    _ensure_builtin_loaded()
+    return tuple(sorted(_REGISTRY))
+
+
+_loaded = False
+
+
+def _ensure_builtin_loaded() -> None:
+    """Import the built-in workload modules exactly once."""
+    global _loaded
+    if _loaded:
+        return
+    _loaded = True
+    # Imported for their registration side effects.
+    from repro.workloads import dosbox, games, idle, office, web, workstation  # noqa: F401

@@ -1,0 +1,22 @@
+"""The idle (no stress) workload.
+
+Not one of the paper's four categories, but the natural baseline: only the
+OS personality's own background activity runs.  Used by tests and as the
+reference point for the perturbation studies.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.intrusions import LoadProfile
+from repro.workloads.base import Workload, register_workload
+
+IDLE = register_workload(
+    Workload(
+        name="idle",
+        description="No application load; OS background activity only.",
+        profiles={
+            "nt4": LoadProfile(name="idle-nt4"),
+            "win98": LoadProfile(name="idle-win98"),
+        },
+    )
+)

@@ -1,0 +1,185 @@
+"""Office applications: the Business Winstone 97 load (section 3.1.1).
+
+Models eight business-productivity applications (Access, Paradox,
+CorelDRAW, PageMaker, PowerPoint, Excel, Word, WordPro) being MS-Test
+driven at super-human speed, including the InstallShield install/uninstall
+around each.  The latency-relevant kernel behaviour is dominated by
+extended filesystem activity -- "long spurts of system activity will still
+occur because of, for example, file copying, both explicit and implicit
+(e.g. 'save as')" -- plus steady paging on a 32 MB system.
+
+On Windows 98 those bursts run through VFAT/IOS inside long VMM sections
+(no thread dispatch) with occasional interrupts-masked windows; on NT they
+hold short executive locks.  The profiles below encode that asymmetry.
+
+The MS-Test time compression means one hour of this load represents >= 10
+hours of heavy human use (the paper's conservative lower bound).
+"""
+
+from __future__ import annotations
+
+from repro.kernel.intrusions import (
+    AppThreadSpec,
+    DeviceActivitySpec,
+    IntrusionKind,
+    IntrusionSpec,
+    LoadProfile,
+    WorkItemLoadSpec,
+)
+from repro.sim.rng import DurationDistribution
+from repro.workloads.base import Workload, register_workload
+
+#: Shared disk ISR behaviour: bus-master IDE completion handlers are short.
+_IDE_ISR = DurationDistribution(body_median_ms=0.012, body_sigma=0.5, max_ms=0.08)
+
+WIN98_OFFICE = LoadProfile(
+    name="office-win98",
+    intrusions=(
+        # VFAT/IOS interrupt-masked windows around FAT updates and cache
+        # flushes.  Weekly worst case ~1.6 ms (Table 3 office column).
+        IntrusionSpec(
+            name="vfat-cli",
+            kind=IntrusionKind.CLI,
+            rate_hz=30.0,
+            duration=DurationDistribution(
+                body_median_ms=0.05, body_sigma=1.0, tail_prob=0.025,
+                tail_scale_ms=0.35, tail_alpha=2.2, max_ms=1.7,
+            ),
+            module="VMM",
+            function="@VFAT_FlushCache",
+        ),
+        # Extra DPC-path work from the filesystem stack (IOS request
+        # completion); adds the small "+0.1 .. +0.4 ms" DPC component.
+        IntrusionSpec(
+            name="ios-dpc",
+            kind=IntrusionKind.DPC,
+            rate_hz=25.0,
+            duration=DurationDistribution(
+                body_median_ms=0.05, body_sigma=0.9, tail_prob=0.02,
+                tail_scale_ms=0.15, tail_alpha=2.2, max_ms=0.45,
+            ),
+            module="IOS",
+            function="_IosRequestComplete",
+        ),
+        # Non-reentrant VMM sections: paging, contiguous-memory allocation,
+        # InstallShield registry churn.  These gate thread dispatch; weekly
+        # worst case ~31 ms with an hourly body near 2 ms.
+        IntrusionSpec(
+            name="vmm-fileops",
+            kind=IntrusionKind.SECTION,
+            rate_hz=8.0,
+            duration=DurationDistribution(
+                body_median_ms=0.25, body_sigma=1.1, tail_prob=0.015,
+                tail_scale_ms=1.2, tail_alpha=1.75, max_ms=31.0,
+            ),
+            module="VMM",
+            function="_mmFindContig",
+        ),
+    ),
+    devices=(
+        DeviceActivitySpec(
+            device="ide0",
+            rate_hz=70.0,
+            isr_duration=_IDE_ISR,
+            dpc_duration=DurationDistribution(
+                body_median_ms=0.05, body_sigma=0.8, tail_prob=0.01,
+                tail_scale_ms=0.12, tail_alpha=2.5, max_ms=0.4,
+            ),
+            module="ESDI_506",
+        ),
+    ),
+    app_threads=(
+        AppThreadSpec(
+            name="winstone-biz",
+            priority=9,
+            compute=DurationDistribution(body_median_ms=4.0, body_sigma=0.9, max_ms=40.0),
+            think=DurationDistribution(body_median_ms=6.0, body_sigma=0.8, max_ms=60.0),
+            module="WINWORD",
+        ),
+        AppThreadSpec(
+            name="mstest-driver",
+            priority=8,
+            compute=DurationDistribution(body_median_ms=1.0, body_sigma=0.7, max_ms=10.0),
+            think=DurationDistribution(body_median_ms=9.0, body_sigma=0.6, max_ms=50.0),
+            module="MSTEST",
+        ),
+    ),
+)
+
+NT4_OFFICE = LoadProfile(
+    name="office-nt4",
+    intrusions=(
+        # NTFS/Cc interrupt-disable windows stay in the tens of
+        # microseconds even during copy bursts.
+        IntrusionSpec(
+            name="ntfs-cli",
+            kind=IntrusionKind.CLI,
+            rate_hz=40.0,
+            duration=DurationDistribution(
+                body_median_ms=0.006, body_sigma=0.8, tail_prob=0.01,
+                tail_scale_ms=0.03, tail_alpha=2.8, max_ms=0.25,
+            ),
+            module="HAL",
+            function="_KeAcquireQueuedSpinLock",
+        ),
+        IntrusionSpec(
+            name="ntfs-dpc",
+            kind=IntrusionKind.DPC,
+            rate_hz=25.0,
+            duration=DurationDistribution(
+                body_median_ms=0.04, body_sigma=0.8, tail_prob=0.01,
+                tail_scale_ms=0.1, tail_alpha=2.6, max_ms=0.35,
+            ),
+            module="NTFS",
+            function="_NtfsCompletionDpc",
+        ),
+        IntrusionSpec(
+            name="ex-sections",
+            kind=IntrusionKind.SECTION,
+            rate_hz=20.0,
+            duration=DurationDistribution(
+                body_median_ms=0.03, body_sigma=0.9, tail_prob=0.02,
+                tail_scale_ms=0.15, tail_alpha=2.4, max_ms=1.2,
+            ),
+            module="NTOSKRNL",
+            function="_ExAcquireResource",
+        ),
+    ),
+    devices=(
+        DeviceActivitySpec(
+            device="ide0",
+            rate_hz=70.0,
+            isr_duration=_IDE_ISR,
+            dpc_duration=DurationDistribution(
+                body_median_ms=0.04, body_sigma=0.8, tail_prob=0.01,
+                tail_scale_ms=0.1, tail_alpha=2.6, max_ms=0.35,
+            ),
+            module="ATAPI",
+        ),
+    ),
+    # Cache-manager/registry lazy writers queue work items: the load that
+    # keeps the RT-default-priority worker thread busy and hurts a
+    # priority-24 measurement thread on NT.
+    work_items=WorkItemLoadSpec(
+        rate_hz=22.0,
+        duration=DurationDistribution(
+            body_median_ms=0.8, body_sigma=0.9, tail_prob=0.05,
+            tail_scale_ms=3.0, tail_alpha=2.0, max_ms=16.0,
+        ),
+        module="NTOSKRNL",
+        function="_CcLazyWriteWorker",
+    ),
+    app_threads=WIN98_OFFICE.app_threads,
+)
+
+OFFICE = register_workload(
+    Workload(
+        name="office",
+        description=(
+            "Business Winstone 97: eight MS-Test-driven business apps with "
+            "install/uninstall cycles; file-copy bursts dominate."
+        ),
+        profiles={"nt4": NT4_OFFICE, "win98": WIN98_OFFICE},
+        stress_hours_equivalent=10.0,
+    )
+)

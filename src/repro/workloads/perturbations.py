@@ -1,0 +1,111 @@
+"""Software perturbations: the virus scanner and the sound schemes.
+
+Section 4.3: "During the course of our investigation of Windows 98 we
+discovered the optional Plus! 98 Pack Virus Scanner and the Windows sound
+schemes had significant impacts on thread latency."
+
+* **Virus scanner** (Figure 5): with the scanner installed and active,
+  16 ms thread latencies occur *two orders of magnitude* more frequently --
+  about once per 1,000 waits instead of once per 165,000.  Mechanism: the
+  scanner hooks every filesystem operation and does its pattern matching in
+  non-reentrant kernel context, so each office-workload file burst drags a
+  multi-millisecond scan along with it.
+* **Sound schemes** (section 4.4, Table 4): the Plus! Pack plays a sound on
+  every UI "event" -- down to each submenu of a walking menu -- and
+  MS-Test-driven Winstone triggers them continuously.  Each playback runs
+  SysAudio topology changes and KMixer work partly at raised IRQL
+  (``_ProcessTopologyConnection``, ``_mmCalcFrameBadness`` in the paper's
+  traces).
+
+Both are Windows 98 overlays: merge them into a workload profile with
+``LoadProfile.merged_with``; :class:`repro.core.experiment.ExperimentConfig`
+accepts them as ``extra_profile``.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.intrusions import IntrusionKind, IntrusionSpec, LoadProfile
+from repro.sim.rng import DurationDistribution
+
+#: The Plus! 98 Pack virus scanner (Figure 5).  Calibrated so that a
+#: priority-24 thread sees ~16 ms latencies roughly once per thousand
+#: waits under the office load (vs ~1 in 165,000 without).
+VIRUS_SCANNER = LoadProfile(
+    name="virus-scanner",
+    intrusions=(
+        IntrusionSpec(
+            name="vshield-scan",
+            kind=IntrusionKind.SECTION,
+            rate_hz=22.0,
+            duration=DurationDistribution(
+                body_median_ms=2.5, body_sigma=0.9, tail_prob=0.30,
+                tail_scale_ms=9.0, tail_alpha=2.6, max_ms=26.0,
+            ),
+            module="VSHIELD",
+            function="_ScanFileBuffer",
+        ),
+        IntrusionSpec(
+            name="vshield-hook",
+            kind=IntrusionKind.CLI,
+            rate_hz=30.0,
+            duration=DurationDistribution(
+                body_median_ms=0.04, body_sigma=0.9, tail_prob=0.02,
+                tail_scale_ms=0.2, tail_alpha=2.2, max_ms=1.2,
+            ),
+            module="VSHIELD",
+            function="_FsHookEntry",
+        ),
+    ),
+)
+
+#: The default Windows sound scheme under MS-Test-speed UI events
+#: (section 4.4): SysAudio graph rebuilds and KMixer frame work.
+DEFAULT_SOUND_SCHEME = LoadProfile(
+    name="sound-scheme",
+    intrusions=(
+        IntrusionSpec(
+            name="sysaudio-topology",
+            kind=IntrusionKind.SECTION,
+            rate_hz=6.0,
+            duration=DurationDistribution(
+                body_median_ms=1.2, body_sigma=1.0, tail_prob=0.12,
+                tail_scale_ms=4.0, tail_alpha=1.9, max_ms=18.0,
+            ),
+            module="SYSAUDIO",
+            function="_ProcessTopologyConnection",
+        ),
+        IntrusionSpec(
+            name="mm-frame-badness",
+            kind=IntrusionKind.SECTION,
+            rate_hz=8.0,
+            duration=DurationDistribution(
+                body_median_ms=0.8, body_sigma=1.0, tail_prob=0.10,
+                tail_scale_ms=3.0, tail_alpha=2.0, max_ms=12.0,
+            ),
+            module="VMM",
+            function="_mmCalcFrameBadness",
+        ),
+        IntrusionSpec(
+            name="kmixer-mix",
+            kind=IntrusionKind.DPC,
+            rate_hz=25.0,
+            duration=DurationDistribution(
+                body_median_ms=0.15, body_sigma=0.9, tail_prob=0.04,
+                tail_scale_ms=0.5, tail_alpha=2.0, max_ms=1.8,
+            ),
+            module="KMIXER",
+            function="unknown",
+        ),
+        IntrusionSpec(
+            name="ntkern-pool",
+            kind=IntrusionKind.SECTION,
+            rate_hz=5.0,
+            duration=DurationDistribution(
+                body_median_ms=0.5, body_sigma=1.0, tail_prob=0.08,
+                tail_scale_ms=2.0, tail_alpha=2.0, max_ms=8.0,
+            ),
+            module="NTKERN",
+            function="_ExpAllocatePool",
+        ),
+    ),
+)

@@ -1,0 +1,180 @@
+"""Web browsing with enhanced audio/video (section 3.1.3).
+
+Models the paper's browsing mix -- tax forms into Acrobat, postscript into
+Ghostview, manuals into Word, then RealPlayer news clips and Shockwave
+movie reviews -- downloaded over 10 Mbit Ethernet (a deliberate ~10x
+overdrive of a late-90s phone line, hence the 4:1 stress compression).
+
+Latency-relevant behaviour: network RX interrupt storms during downloads,
+helper-application launches (process creation = registry + file bursts),
+and long media-pipeline stalls.  The paper's Table 3 web column is notable
+for its *spread*: thread latency is only ~14-15 ms hourly but ~68-70 ms
+daily and ~80-84 ms weekly -- rare but enormous stalls (codec/plugin
+startup inside VMM sections).  That shape is encoded as a low-rate,
+very-heavy-tail SECTION source.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.intrusions import (
+    AppThreadSpec,
+    DeviceActivitySpec,
+    IntrusionKind,
+    IntrusionSpec,
+    LoadProfile,
+    WorkItemLoadSpec,
+)
+from repro.sim.rng import DurationDistribution
+from repro.workloads.base import Workload, register_workload
+
+WIN98_WEB = LoadProfile(
+    name="web-win98",
+    intrusions=(
+        # NDIS/VIP interrupt-masked windows during RX bursts: hourly ~1.1,
+        # weekly ~3.5 ms.
+        IntrusionSpec(
+            name="ndis-cli",
+            kind=IntrusionKind.CLI,
+            rate_hz=25.0,
+            duration=DurationDistribution(
+                body_median_ms=0.06, body_sigma=1.0, tail_prob=0.02,
+                tail_scale_ms=0.4, tail_alpha=1.9, max_ms=3.5,
+            ),
+            module="NDIS",
+            function="_NdisMIndicateReceive",
+        ),
+        IntrusionSpec(
+            name="tcpip-dpc",
+            kind=IntrusionKind.DPC,
+            rate_hz=45.0,
+            duration=DurationDistribution(
+                body_median_ms=0.04, body_sigma=0.9, tail_prob=0.015,
+                tail_scale_ms=0.12, tail_alpha=2.4, max_ms=0.35,
+            ),
+            module="VTCP",
+            function="_TcpRcvComplete",
+        ),
+        # Rare but enormous stalls: plugin/codec startup, cache writeback.
+        IntrusionSpec(
+            name="vmm-plugin-launch",
+            kind=IntrusionKind.SECTION,
+            rate_hz=6.0,
+            duration=DurationDistribution(
+                body_median_ms=0.8, body_sigma=1.3, tail_prob=0.02,
+                tail_scale_ms=9.0, tail_alpha=1.15, max_ms=80.0,
+            ),
+            module="VMM",
+            function="_PageInModule",
+        ),
+    ),
+    devices=(
+        DeviceActivitySpec(
+            device="nic",
+            rate_hz=260.0,
+            isr_duration=DurationDistribution(body_median_ms=0.009, body_sigma=0.5, max_ms=0.05),
+            dpc_duration=DurationDistribution(
+                body_median_ms=0.05, body_sigma=0.8, tail_prob=0.01,
+                tail_scale_ms=0.12, tail_alpha=2.4, max_ms=0.35,
+            ),
+            module="E100B",
+        ),
+        DeviceActivitySpec(
+            device="ide0",
+            rate_hz=35.0,
+            isr_duration=DurationDistribution(body_median_ms=0.012, body_sigma=0.5, max_ms=0.08),
+            dpc_duration=DurationDistribution(
+                body_median_ms=0.05, body_sigma=0.8, tail_prob=0.015,
+                tail_scale_ms=0.12, tail_alpha=2.4, max_ms=0.4,
+            ),
+            module="ESDI_506",
+        ),
+        DeviceActivitySpec(
+            device="audio",
+            rate_hz=50.0,
+            isr_duration=DurationDistribution(body_median_ms=0.01, body_sigma=0.5, max_ms=0.06),
+            dpc_duration=DurationDistribution(
+                body_median_ms=0.07, body_sigma=0.8, tail_prob=0.015,
+                tail_scale_ms=0.2, tail_alpha=2.2, max_ms=0.6,
+            ),
+            module="ES1371",
+        ),
+    ),
+    app_threads=(
+        AppThreadSpec(
+            name="navigator",
+            priority=9,
+            compute=DurationDistribution(body_median_ms=6.0, body_sigma=0.9, max_ms=60.0),
+            think=DurationDistribution(body_median_ms=10.0, body_sigma=0.8, max_ms=100.0),
+            module="NETSCAPE",
+        ),
+        AppThreadSpec(
+            name="realplayer",
+            priority=10,
+            compute=DurationDistribution(body_median_ms=5.0, body_sigma=0.6, max_ms=25.0),
+            think=DurationDistribution(body_median_ms=12.0, body_sigma=0.5, max_ms=60.0),
+            module="REALPLAY",
+        ),
+    ),
+)
+
+NT4_WEB = LoadProfile(
+    name="web-nt4",
+    intrusions=(
+        IntrusionSpec(
+            name="ndis-cli",
+            kind=IntrusionKind.CLI,
+            rate_hz=30.0,
+            duration=DurationDistribution(
+                body_median_ms=0.007, body_sigma=0.9, tail_prob=0.01,
+                tail_scale_ms=0.04, tail_alpha=2.6, max_ms=0.3,
+            ),
+            module="NDIS",
+            function="_NdisInterruptBeginService",
+        ),
+        IntrusionSpec(
+            name="tcpip-dpc",
+            kind=IntrusionKind.DPC,
+            rate_hz=45.0,
+            duration=DurationDistribution(
+                body_median_ms=0.035, body_sigma=0.9, tail_prob=0.01,
+                tail_scale_ms=0.1, tail_alpha=2.5, max_ms=0.3,
+            ),
+            module="TCPIP",
+            function="_TcpipRcvDpc",
+        ),
+        IntrusionSpec(
+            name="ex-sections",
+            kind=IntrusionKind.SECTION,
+            rate_hz=12.0,
+            duration=DurationDistribution(
+                body_median_ms=0.05, body_sigma=1.1, tail_prob=0.025,
+                tail_scale_ms=0.25, tail_alpha=2.0, max_ms=2.2,
+            ),
+            module="NTOSKRNL",
+            function="_ObpLookupObjectName",
+        ),
+    ),
+    devices=WIN98_WEB.devices,
+    work_items=WorkItemLoadSpec(
+        rate_hz=18.0,
+        duration=DurationDistribution(
+            body_median_ms=0.9, body_sigma=1.0, tail_prob=0.05,
+            tail_scale_ms=4.0, tail_alpha=1.8, max_ms=22.0,
+        ),
+        module="NTOSKRNL",
+        function="_AfdWorkerThread",
+    ),
+    app_threads=WIN98_WEB.app_threads,
+)
+
+WEB = register_workload(
+    Workload(
+        name="web",
+        description=(
+            "Web browsing with enhanced audio/video over fast Ethernet: "
+            "RX storms, helper-app launches, media pipelines."
+        ),
+        profiles={"nt4": NT4_WEB, "win98": WIN98_WEB},
+        stress_hours_equivalent=4.0,
+    )
+)

@@ -1,0 +1,229 @@
+"""Analysis layer: tolerances, MTTF, schedulability, cause aggregation."""
+
+import pytest
+
+from repro.analysis.causes import diff_summaries, summarize_episodes
+from repro.analysis.mttf import (
+    FIGURE6_BUFFERING_MS,
+    buffering_needed_for_mttf,
+    miss_probability,
+    mttf_curve,
+    mttf_for_buffering,
+)
+from repro.analysis.schedulability import (
+    PeriodicTask,
+    TaskSet,
+    format_analysis,
+    is_schedulable,
+    pseudo_worst_case_ms,
+    response_time_analysis,
+)
+from repro.analysis.tolerance import (
+    APPLICATION_TOLERANCES,
+    format_table1,
+    latency_tolerance_ms,
+)
+from repro.drivers.cause_tool import IpSample, LatencyEpisode
+from repro.sim.rng import RngStream
+
+
+class TestTable1:
+    def test_tolerance_formula(self):
+        assert latency_tolerance_ms(2, 10.0) == 10.0
+        assert latency_tolerance_ms(4, 16.0) == 48.0
+        assert latency_tolerance_ms(1, 5.0) == 0.0  # single buffer: none
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            latency_tolerance_ms(0, 1.0)
+        with pytest.raises(ValueError):
+            latency_tolerance_ms(2, 0.0)
+
+    def test_table1_rows_verbatim(self):
+        by_name = {row.name: row for row in APPLICATION_TOLERANCES}
+        assert by_name["ADSL"].paper_tolerance_ms == (4.0, 10.0)
+        assert by_name["Modem"].paper_tolerance_ms == (12.0, 20.0)
+        assert by_name["RT audio"].paper_tolerance_ms == (20.0, 60.0)
+        assert by_name["RT video"].paper_tolerance_ms == (33.0, 100.0)
+
+    def test_adsl_and_video_at_opposite_ends(self):
+        """The paper's observation: the two most processor-intensive
+        applications sit at opposite ends of the tolerance spectrum."""
+        by_name = {row.name: row for row in APPLICATION_TOLERANCES}
+        assert by_name["ADSL"].paper_tolerance_ms[1] < by_name["RT video"].paper_tolerance_ms[0]
+
+    def test_caption_range_convention(self):
+        adsl = APPLICATION_TOLERANCES[0]
+        lo, hi = adsl.tolerance_range_ms
+        assert lo <= hi
+        assert lo == 4.0 and hi == 10.0  # (2-1)*4 and (6-1)*2
+
+    def test_format(self):
+        text = format_table1()
+        assert "ADSL" in text and "RT video" in text
+
+
+class TestMttf:
+    def heavy_tail_latencies(self, n=50_000, seed=12):
+        rng = RngStream(seed, "mttf")
+        return sorted(rng.pareto(0.05, 1.5) for _ in range(n))
+
+    def test_miss_probability_empirical(self):
+        data = [1.0] * 90 + [10.0] * 10
+        assert miss_probability(sorted(data), 5.0) == pytest.approx(0.1)
+
+    def test_miss_probability_tail_extension(self):
+        data = self.heavy_tail_latencies()
+        beyond = data[-1] * 3.0
+        p = miss_probability(data, beyond)
+        assert 0.0 < p <= 1.0 / len(data)
+
+    def test_mttf_monotone_in_buffering(self):
+        data = self.heavy_tail_latencies()
+        curve = mttf_curve(data, compute_ms=2.0)
+        finite = [p.mttf_s for p in curve if p.mttf_s is not None]
+        for a, b in zip(finite, finite[1:]):
+            assert b >= a * 0.5  # allow sampling noise but broadly rising
+
+    def test_no_slack_means_certain_miss(self):
+        point = mttf_for_buffering([0.1, 0.2], buffering_ms=2.0, compute_ms=2.0)
+        assert point.p_miss == 1.0
+
+    def test_slack_arithmetic(self):
+        point = mttf_for_buffering(self.heavy_tail_latencies(), 16.0, 2.0)
+        assert point.slack_ms == pytest.approx(14.0)
+
+    def test_time_compression_scales_mttf(self):
+        data = self.heavy_tail_latencies()
+        fast = mttf_for_buffering(data, 8.0, 2.0, time_compression=1.0)
+        slow = mttf_for_buffering(data, 8.0, 2.0, time_compression=100.0)
+        assert slow.mttf_s == pytest.approx(fast.mttf_s * 100.0)
+
+    def test_buffering_needed(self):
+        data = self.heavy_tail_latencies()
+        needed = buffering_needed_for_mttf(data, target_mttf_s=600.0, time_compression=1.0)
+        assert needed is not None
+        assert needed in FIGURE6_BUFFERING_MS
+
+    def test_formatting(self):
+        point = mttf_for_buffering([1.0] * 100, 8.0, 2.0)
+        assert "B=" in point.format()
+
+
+class TestSchedulability:
+    def test_textbook_schedulable_set(self):
+        tasks = TaskSet(
+            [
+                PeriodicTask("a", period_ms=10.0, wcet_ms=2.0),
+                PeriodicTask("b", period_ms=20.0, wcet_ms=4.0),
+                PeriodicTask("c", period_ms=40.0, wcet_ms=8.0),
+            ]
+        )
+        assert is_schedulable(tasks)
+        results = response_time_analysis(tasks)
+        assert results[0].response_ms == pytest.approx(2.0)
+        # b: 4 + ceil(R/10)*2 -> 6
+        assert results[1].response_ms == pytest.approx(6.0)
+
+    def test_overloaded_set_unschedulable(self):
+        tasks = TaskSet(
+            [
+                PeriodicTask("a", period_ms=10.0, wcet_ms=6.0),
+                PeriodicTask("b", period_ms=14.0, wcet_ms=7.0),
+            ]
+        )
+        assert not is_schedulable(tasks)
+
+    def test_dispatch_latency_can_break_schedulability(self):
+        base = [
+            PeriodicTask("pump", period_ms=8.0, wcet_ms=2.0, dispatch_latency_ms=0.0),
+            PeriodicTask("mixer", period_ms=20.0, wcet_ms=5.0),
+        ]
+        assert is_schedulable(TaskSet(base))
+        delayed = [
+            PeriodicTask("pump", period_ms=8.0, wcet_ms=2.0, dispatch_latency_ms=7.0),
+            PeriodicTask("mixer", period_ms=20.0, wcet_ms=5.0),
+        ]
+        results = response_time_analysis(TaskSet(delayed))
+        assert not results[0].schedulable
+
+    def test_rate_monotonic_ordering(self):
+        tasks = TaskSet(
+            [
+                PeriodicTask("slow", period_ms=100.0, wcet_ms=1.0),
+                PeriodicTask("fast", period_ms=5.0, wcet_ms=1.0),
+            ]
+        )
+        assert tasks.tasks[0].name == "fast"
+
+    def test_liu_layland_bound(self):
+        tasks = TaskSet([PeriodicTask("a", 10.0, 1.0)])
+        assert tasks.liu_layland_bound() == pytest.approx(1.0)
+        three = TaskSet([PeriodicTask(str(i), 10.0 * (i + 1), 0.1) for i in range(3)])
+        assert three.liu_layland_bound() == pytest.approx(3 * (2 ** (1 / 3) - 1))
+
+    def test_task_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicTask("bad", period_ms=5.0, wcet_ms=6.0)
+        with pytest.raises(ValueError):
+            PeriodicTask("bad", period_ms=0.0, wcet_ms=1.0)
+        with pytest.raises(ValueError):
+            TaskSet([])
+
+    def test_pseudo_worst_case_decreases_with_allowance(self):
+        rng = RngStream(14, "pwc")
+        data = [rng.pareto(0.1, 1.5) for _ in range(30_000)]
+        strict = pseudo_worst_case_ms(data, 60.0, allowed_misses_per_hour=0.1)
+        loose = pseudo_worst_case_ms(data, 60.0, allowed_misses_per_hour=100.0)
+        assert loose <= strict
+
+    def test_pseudo_worst_case_validation(self):
+        with pytest.raises(ValueError):
+            pseudo_worst_case_ms([1.0] * 100, 10.0, allowed_misses_per_hour=0.0)
+
+    def test_format_analysis(self):
+        tasks = TaskSet([PeriodicTask("a", 10.0, 2.0)])
+        text = format_analysis(tasks)
+        assert "utilisation" in text and "a" in text
+
+
+def make_episode(index, entries):
+    return LatencyEpisode(
+        index=index,
+        priority=24,
+        latency_ms=5.0,
+        window=(0, 100),
+        samples=[IpSample(tsc=i, module=m, function=f) for i, (m, f) in enumerate(entries)],
+    )
+
+
+class TestCauseAggregation:
+    def test_summarize(self):
+        episodes = [
+            make_episode(0, [("VMM", "_a"), ("VMM", "_b"), ("KMIXER", "unknown")]),
+            make_episode(1, [("VMM", "_a")]),
+        ]
+        summary = summarize_episodes(episodes)
+        assert summary.episodes == 2
+        assert summary.total_samples == 4
+        assert summary.by_module["VMM"] == 3
+        assert summary.by_function[("VMM", "_a")] == 2
+        assert summary.module_share("VMM") == pytest.approx(0.75)
+
+    def test_top_lists(self):
+        summary = summarize_episodes([make_episode(0, [("A", "f")] * 5 + [("B", "g")])])
+        assert summary.top_modules(1) == [("A", 5)]
+        assert summary.top_functions(1)[0][0] == ("A", "f")
+
+    def test_diff_highlights_new_module(self):
+        baseline = summarize_episodes([make_episode(0, [("VMM", "_a")] * 10)])
+        perturbed = summarize_episodes(
+            [make_episode(0, [("VSHIELD", "_scan")] * 8 + [("VMM", "_a")] * 2)]
+        )
+        rows = diff_summaries(baseline, perturbed)
+        assert rows[0][0] == "VSHIELD"
+        assert rows[0][2] > rows[0][1]
+
+    def test_format(self):
+        summary = summarize_episodes([make_episode(0, [("VMM", "_a")])])
+        assert "VMM" in summary.format()

@@ -1,0 +1,120 @@
+"""ASCII charts and the DOS-box extension workload."""
+
+import pytest
+
+from repro.analysis.charts import SERIES_MARKERS, ascii_chart, mttf_chart
+from repro.analysis.mttf import MttfPoint
+from repro.core.experiment import ExperimentConfig, run_latency_experiment
+from repro.core.samples import LatencyKind
+from repro.workloads.base import get_workload, workload_names
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        chart = ascii_chart({"a": [(1.0, 10.0), (2.0, 100.0), (3.0, 1000.0)]})
+        assert "legend: o = a" in chart
+        assert chart.count("o") >= 3
+
+    def test_multiple_series_get_distinct_markers(self):
+        chart = ascii_chart(
+            {
+                "first": [(1.0, 10.0), (2.0, 20.0)],
+                "second": [(1.0, 100.0), (2.0, 200.0)],
+            }
+        )
+        assert "o = first" in chart
+        assert "x = second" in chart
+        assert "x" in chart.split("legend")[0]
+
+    def test_none_points_skipped(self):
+        chart = ascii_chart({"a": [(1.0, None), (2.0, 5.0)]})
+        assert "o" in chart
+
+    def test_empty_series(self):
+        assert ascii_chart({"a": [(1.0, None)]}) == "(no data to plot)"
+
+    def test_log_scale_spans_decades(self):
+        chart = ascii_chart({"a": [(1.0, 1.0), (2.0, 1e6)]}, log_y=True)
+        assert "1e+06" in chart or "1e+6" in chart.replace("+0", "+")
+
+    def test_linear_scale(self):
+        chart = ascii_chart({"a": [(0.0, 0.0), (1.0, 10.0)]}, log_y=False)
+        assert "o" in chart
+
+    def test_axis_labels(self):
+        chart = ascii_chart(
+            {"a": [(1.0, 2.0)]}, y_label="MTTF", x_label="buffering"
+        )
+        assert chart.startswith("MTTF")
+        assert "buffering" in chart
+
+    def test_markers_cycle(self):
+        series = {f"s{i}": [(1.0, float(i + 1))] for i in range(10)}
+        chart = ascii_chart(series)
+        assert SERIES_MARKERS[0] in chart
+
+    def test_mttf_chart_wrapper(self):
+        points = [
+            MttfPoint(buffering_ms=8.0, slack_ms=6.0, p_miss=1e-3, mttf_s=8.0),
+            MttfPoint(buffering_ms=16.0, slack_ms=14.0, p_miss=1e-5, mttf_s=1600.0),
+        ]
+        chart = mttf_chart({"games": points}, title="Figure 6")
+        assert chart.startswith("Figure 6")
+        assert "games" in chart
+
+
+class TestDosBoxWorkload:
+    def test_registered_as_extension(self):
+        assert "dosbox" in workload_names()
+
+    def test_profiles_for_both_oses(self):
+        workload = get_workload("dosbox")
+        assert workload.profile_for("win98").name == "dosbox-win98"
+        assert workload.profile_for("nt4").name == "dosbox-nt4"
+
+    def test_win98_dosbox_is_worse_than_any_paper_workload(self):
+        """The legacy tax: V86 DOS boxes beat even 3D games for badness."""
+        from repro.kernel.intrusions import IntrusionKind
+
+        def worst_cli(workload, os_name):
+            profile = get_workload(workload).profile_for(os_name)
+            return max(
+                (s.duration.max_ms for s in profile.intrusions
+                 if s.kind is IntrusionKind.CLI),
+                default=0.0,
+            )
+
+        assert worst_cli("dosbox", "win98") > worst_cli("games", "win98")
+
+    @pytest.mark.parametrize("os_name", ["nt4", "win98"])
+    def test_runs_end_to_end(self, os_name):
+        result = run_latency_experiment(
+            ExperimentConfig(os_name=os_name, workload="dosbox", duration_s=8.0, seed=17)
+        )
+        assert len(result.sample_set) > 500
+
+    def test_legacy_tax_only_on_win98(self):
+        """The headline of the extension: the same DOS app is harmless on
+        NT (NTVDM, user mode) and brutal on 98 (V86 in the VMM)."""
+        results = {}
+        for os_name in ("nt4", "win98"):
+            results[os_name] = run_latency_experiment(
+                ExperimentConfig(
+                    os_name=os_name, workload="dosbox", duration_s=25.0, seed=17
+                )
+            ).sample_set
+        nt_worst = max(results["nt4"].latencies_ms(LatencyKind.THREAD, priority=28))
+        w98_worst = max(results["win98"].latencies_ms(LatencyKind.THREAD, priority=28))
+        assert w98_worst > 10.0 * nt_worst
+
+    def test_dosbox_worse_than_games_on_win98(self):
+        games = run_latency_experiment(
+            ExperimentConfig(os_name="win98", workload="games", duration_s=25.0, seed=17)
+        ).sample_set
+        dosbox = run_latency_experiment(
+            ExperimentConfig(os_name="win98", workload="dosbox", duration_s=25.0, seed=17)
+        ).sample_set
+        games_isr = sorted(games.latencies_ms(LatencyKind.ISR))
+        dos_isr = sorted(dosbox.latencies_ms(LatencyKind.ISR))
+        # Compare p99.9: the DOS box's masked windows dominate.
+        assert dos_isr[int(len(dos_isr) * 0.999)] > games_isr[int(len(games_isr) * 0.999)]

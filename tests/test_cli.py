@@ -1,0 +1,47 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_measure(self, capsys):
+        assert main(["measure", "--os", "win98", "--workload", "idle",
+                     "--duration", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "samples at" in out
+        assert "Max/Wk" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--workload", "idle", "--duration", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Win98 DPC / NT DPC" in out
+
+    def test_mttf(self, capsys):
+        assert main(["mttf", "--workload", "idle", "--duration", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out and "Figure 7" in out
+
+    def test_causes(self, capsys):
+        assert main(["causes", "--workload", "games", "--duration", "5",
+                     "--threshold", "3.0"]) == 0
+        out = capsys.readouterr().out
+        assert "episode" in out or "No latency episodes" in out
+
+    def test_throughput(self, capsys):
+        assert main(["throughput", "--units", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "Winstone-style scores" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_bad_os_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["measure", "--os", "beos"])
+
+    def test_win2k_accepted(self, capsys):
+        assert main(["measure", "--os", "win2k", "--workload", "idle",
+                     "--duration", "2"]) == 0

@@ -1,0 +1,119 @@
+"""Log-bucket histograms (the Figure 4 representation)."""
+
+import math
+
+import pytest
+
+from repro.core.histogram import (
+    LOG2_BUCKETS_MS,
+    LatencyHistogram,
+    compare_tail_weight,
+    merge_histograms,
+)
+
+
+class TestBuckets:
+    def test_figure4_edges(self):
+        assert LOG2_BUCKETS_MS[0] == 0.125
+        assert LOG2_BUCKETS_MS[-1] == 128.0
+        assert len(LOG2_BUCKETS_MS) == 11
+
+    def test_values_land_in_correct_buckets(self):
+        histogram = LatencyHistogram()
+        histogram.add(0.1)    # <= 0.125 -> bucket 0
+        histogram.add(0.125)  # == edge -> bucket 0
+        histogram.add(0.2)    # (0.125, 0.25] -> bucket 1
+        histogram.add(100.0)  # (64, 128] -> bucket 10
+        histogram.add(500.0)  # overflow
+        assert histogram.counts[0] == 2
+        assert histogram.counts[1] == 1
+        assert histogram.counts[10] == 1
+        assert histogram.counts[-1] == 1
+        assert histogram.total == 5
+
+    def test_counts_sum_to_total(self):
+        import random
+
+        rng = random.Random(3)
+        histogram = LatencyHistogram()
+        for _ in range(1000):
+            histogram.add(rng.uniform(0.01, 300.0))
+        assert sum(histogram.counts) == histogram.total == 1000
+
+    def test_max_tracked(self):
+        histogram = LatencyHistogram.from_values([1.0, 7.5, 3.0])
+        assert histogram.max_ms == 7.5
+
+    def test_invalid_edges(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(edges_ms=[1.0])
+        with pytest.raises(ValueError):
+            LatencyHistogram(edges_ms=[2.0, 1.0])
+
+
+class TestPercentViews:
+    def test_percent_in_buckets_sums_to_100(self):
+        histogram = LatencyHistogram.from_values([0.1, 0.2, 1.0, 50.0, 200.0])
+        total = sum(pct for _, pct in histogram.percent_in_buckets())
+        assert total == pytest.approx(100.0)
+
+    def test_percent_in_buckets_empty(self):
+        assert LatencyHistogram().percent_in_buckets() == []
+
+    def test_percent_exceeding(self):
+        histogram = LatencyHistogram.from_values([0.1] * 90 + [10.0] * 10)
+        assert histogram.percent_exceeding(1.0) == pytest.approx(10.0)
+        assert histogram.percent_exceeding(0.0) == pytest.approx(100.0)
+        assert histogram.percent_exceeding(200.0) == 0.0
+
+    def test_nonzero_buckets_only_plotted(self):
+        histogram = LatencyHistogram.from_values([0.1, 0.1, 64.0])
+        points = histogram.nonzero_buckets()
+        assert all(pct > 0 for _, pct in points)
+        assert len(points) == 2
+
+
+class TestRender:
+    def test_render_contains_title_and_totals(self):
+        histogram = LatencyHistogram.from_values([0.5, 1.0, 30.0])
+        text = histogram.render(title="panel")
+        assert "panel" in text
+        assert "total=3" in text
+
+    def test_render_log_scale_bars(self):
+        histogram = LatencyHistogram.from_values([0.1] * 9999 + [100.0])
+        text = histogram.render()
+        lines = [l for l in text.splitlines() if "#" in l]
+        assert len(lines) == 2  # two occupied buckets
+        # The 99.99% bucket bar is much longer than the 0.01% one.
+        assert lines[0].count("#") > lines[1].count("#")
+
+
+class TestMergeCompare:
+    def test_merge(self):
+        a = LatencyHistogram.from_values([0.1, 1.0])
+        b = LatencyHistogram.from_values([1.0, 50.0])
+        merged = merge_histograms([a, b])
+        assert merged.total == 4
+        assert merged.max_ms == 50.0
+
+    def test_merge_mismatched_edges_rejected(self):
+        a = LatencyHistogram(edges_ms=[1.0, 2.0])
+        b = LatencyHistogram(edges_ms=[1.0, 4.0])
+        with pytest.raises(ValueError):
+            merge_histograms([a, b])
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_histograms([])
+
+    def test_compare_tail_weight(self):
+        bad = LatencyHistogram.from_values([0.1] * 90 + [20.0] * 10)
+        good = LatencyHistogram.from_values([0.1] * 99 + [20.0] * 1)
+        ratio = compare_tail_weight(bad, good, 1.0)
+        assert ratio == pytest.approx(10.0)
+
+    def test_compare_tail_weight_none_when_reference_clean(self):
+        bad = LatencyHistogram.from_values([20.0])
+        good = LatencyHistogram.from_values([0.1])
+        assert compare_tail_weight(bad, good, 1.0) is None

@@ -1,0 +1,107 @@
+"""RawSample arithmetic and SampleSet behaviour."""
+
+import pytest
+
+from repro.core.samples import LatencyKind, RawSample, SampleSet
+from repro.sim.clock import CpuClock
+
+CLOCK = CpuClock()
+MS = CLOCK.ms_to_cycles
+
+
+def full_sample(seq=0, priority=28, with_isr=True):
+    """read at 0ms, delay 1ms, assert at 1.4ms, isr 1.5ms, dpc 1.8ms, thread 2.3ms."""
+    return RawSample(
+        seq=seq,
+        priority=priority,
+        t_read=0,
+        delay_cycles=MS(1.0),
+        t_assert=MS(1.4),
+        t_isr=MS(1.5) if with_isr else None,
+        t_dpc=MS(1.8),
+        t_thread=MS(2.3),
+    )
+
+
+class TestRawSample:
+    def test_estimated_expiry(self):
+        sample = full_sample()
+        assert sample.estimated_expiry == MS(1.0)
+
+    def test_origin_modes(self):
+        sample = full_sample()
+        assert sample.origin("estimate") == MS(1.0)
+        assert sample.origin("truth") == MS(1.4)
+        assert sample.origin("auto") == MS(1.4)  # hook present
+        no_hook = full_sample(with_isr=False)
+        assert no_hook.origin("auto") == MS(1.0)  # falls back to estimate
+
+    def test_origin_invalid_mode(self):
+        with pytest.raises(ValueError):
+            full_sample().origin("bogus")
+
+    def test_latency_arithmetic(self):
+        s = full_sample()
+        ms = CLOCK.cycles_to_ms
+        assert ms(s.latency_cycles(LatencyKind.ISR)) == pytest.approx(0.1)
+        assert ms(s.latency_cycles(LatencyKind.DPC)) == pytest.approx(0.3)
+        assert ms(s.latency_cycles(LatencyKind.DPC_INTERRUPT)) == pytest.approx(0.4)
+        assert ms(s.latency_cycles(LatencyKind.THREAD)) == pytest.approx(0.5)
+        assert ms(s.latency_cycles(LatencyKind.THREAD_INTERRUPT)) == pytest.approx(0.9)
+
+    def test_latencies_unmeasurable_without_hook(self):
+        s = full_sample(with_isr=False)
+        assert s.latency_cycles(LatencyKind.ISR) is None
+        assert s.latency_cycles(LatencyKind.DPC) is None
+        # Estimated-origin kinds still work.
+        assert s.latency_cycles(LatencyKind.DPC_INTERRUPT) is not None
+
+    def test_incomplete_sample(self):
+        s = RawSample(seq=0, priority=28, t_read=0, delay_cycles=MS(1.0))
+        assert not s.complete
+        assert s.latency_cycles(LatencyKind.THREAD) is None
+
+
+class TestSampleSet:
+    def build(self):
+        ss = SampleSet(CLOCK, "win98", "office", duration_s=10.0)
+        for i in range(10):
+            ss.add(full_sample(seq=i, priority=28 if i % 2 == 0 else 24))
+        return ss
+
+    def test_len_and_priorities(self):
+        ss = self.build()
+        assert len(ss) == 10
+        assert ss.priorities() == [24, 28]
+
+    def test_priority_filter(self):
+        ss = self.build()
+        assert len(list(ss.iter_samples(priority=28))) == 5
+
+    def test_latencies_ms(self):
+        ss = self.build()
+        values = ss.latencies_ms(LatencyKind.THREAD, priority=28)
+        assert len(values) == 5
+        assert values[0] == pytest.approx(0.5)
+
+    def test_sample_rate(self):
+        ss = self.build()
+        assert ss.sample_rate_hz() == pytest.approx(1.0)
+        assert ss.sample_rate_hz(priority=28) == pytest.approx(0.5)
+
+    def test_merge_same_configuration(self):
+        a = self.build()
+        b = self.build()
+        merged = a.merged_with(b)
+        assert len(merged) == 20
+        assert merged.duration_s == 20.0
+
+    def test_merge_mismatched_rejected(self):
+        a = self.build()
+        b = SampleSet(CLOCK, "nt4", "office", 10.0)
+        with pytest.raises(ValueError):
+            a.merged_with(b)
+
+    def test_kind_descriptions(self):
+        for kind in LatencyKind:
+            assert kind.description

@@ -1,0 +1,126 @@
+"""Distribution statistics: percentiles, exceedance, tail fitting."""
+
+import math
+
+import pytest
+
+from repro.core.stats import (
+    DistributionSummary,
+    ParetoTailFit,
+    exceedance_fraction,
+    fit_pareto_tail,
+    percentile,
+    ratio_of_maxima,
+)
+from repro.sim.rng import RngStream
+
+
+class TestPercentile:
+    def test_endpoints(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(data, 0.0) == 1.0
+        assert percentile(data, 1.0) == 4.0
+
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == pytest.approx(2.5)
+
+    def test_single_value(self):
+        assert percentile([7.0], 0.3) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestExceedance:
+    def test_basic(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert exceedance_fraction(data, 3.0) == pytest.approx(0.4)
+        assert exceedance_fraction(data, 0.5) == 1.0
+        assert exceedance_fraction(data, 5.0) == 0.0
+
+    def test_threshold_equal_values_excluded(self):
+        data = [2.0, 2.0, 2.0, 3.0]
+        assert exceedance_fraction(data, 2.0) == pytest.approx(0.25)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            exceedance_fraction([], 1.0)
+
+
+class TestParetoFit:
+    def synthetic_pareto(self, alpha, n=20_000, xm=1.0, seed=17):
+        rng = RngStream(seed, "pareto")
+        return sorted(rng.pareto(xm, alpha) for _ in range(n))
+
+    def test_recovers_alpha_on_pure_pareto(self):
+        for alpha in (1.2, 2.0, 3.0):
+            data = self.synthetic_pareto(alpha)
+            fit = fit_pareto_tail(data)
+            assert fit is not None
+            assert fit.alpha == pytest.approx(alpha, rel=0.35)
+
+    def test_mixture_fit_follows_tail_not_body(self):
+        """A tight lognormal body must not flatten the fitted slope."""
+        rng = RngStream(23, "mix")
+        body = [rng.lognormal(0.01, 0.3) for _ in range(50_000)]
+        tail = [rng.pareto(1.0, 1.5) for _ in range(1_000)]
+        data = sorted(body + tail)
+        fit = fit_pareto_tail(data)
+        assert fit is not None
+        assert 0.9 <= fit.alpha <= 2.3
+
+    def test_too_little_data_returns_none(self):
+        assert fit_pareto_tail([1.0, 2.0, 3.0]) is None
+
+    def test_degenerate_data_returns_none(self):
+        assert fit_pareto_tail([1.0] * 1000) is None
+
+    def test_quantile_inversion(self):
+        fit = ParetoTailFit(alpha=2.0, scale=1.0, threshold=1.0, points=100)
+        x = fit.quantile_of_exceedance(1e-4)
+        assert fit.ccdf(x) == pytest.approx(1e-4, rel=1e-6)
+
+    def test_ccdf_clamped_to_one(self):
+        fit = ParetoTailFit(alpha=2.0, scale=100.0, threshold=1.0, points=100)
+        assert fit.ccdf(0.5) == 1.0
+        assert fit.ccdf(-1.0) == 1.0
+
+    def test_quantile_rejects_bad_probability(self):
+        fit = ParetoTailFit(alpha=2.0, scale=1.0, threshold=1.0, points=10)
+        with pytest.raises(ValueError):
+            fit.quantile_of_exceedance(0.0)
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        data = list(range(1, 101))
+        summary = DistributionSummary.from_values([float(x) for x in data])
+        assert summary.count == 100
+        assert summary.mean == pytest.approx(50.5)
+        assert summary.median == pytest.approx(50.5)
+        assert summary.maximum == 100.0
+        assert summary.minimum == 1.0
+        assert summary.p99 > summary.p90 > summary.median
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DistributionSummary.from_values([])
+
+    def test_format_row(self):
+        summary = DistributionSummary.from_values([1.0, 2.0, 3.0])
+        row = summary.format_row("test")
+        assert "test" in row and "n=" in row
+
+
+class TestRatio:
+    def test_ratio_of_maxima(self):
+        assert ratio_of_maxima([10.0, 20.0], [1.0, 2.0]) == 10.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ratio_of_maxima([], [1.0])

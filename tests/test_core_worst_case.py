@@ -1,0 +1,153 @@
+"""Expected worst-case estimation (Table 3 machinery)."""
+
+import pytest
+
+from repro.core.samples import LatencyKind, RawSample, SampleSet
+from repro.core.worst_case import (
+    DEFAULT_TIME_COMPRESSION,
+    TABLE3_ROWS,
+    USAGE_PATTERNS,
+    UsagePattern,
+    WorstCaseEstimator,
+    WorstCaseTable,
+    usage_pattern_for,
+)
+from repro.sim.clock import CpuClock
+from repro.sim.rng import RngStream
+
+
+class TestUsagePatterns:
+    def test_section31_patterns_present(self):
+        for name in ("office", "workstation", "games", "web"):
+            assert name in USAGE_PATTERNS
+
+    def test_office_work_week(self):
+        office = USAGE_PATTERNS["office"]
+        assert office.week_seconds == pytest.approx(40 * 3600)
+
+    def test_consumer_week_is_seven_days(self):
+        web = USAGE_PATTERNS["web"]
+        assert web.days_per_week == 7.0
+
+    def test_unknown_workload_defaults_to_office(self):
+        assert usage_pattern_for("mystery") is USAGE_PATTERNS["office"]
+
+
+class TestEstimator:
+    def uniform_data(self, n=10_000, hi=10.0, seed=5):
+        rng = RngStream(seed, "wc")
+        return [rng.uniform(0.0, hi) for _ in range(n)]
+
+    def test_interpolation_within_sample(self):
+        # 10k samples over 100 s = 100 Hz; a 10 s horizon holds 1k events.
+        data = self.uniform_data()
+        estimator = WorstCaseEstimator(data, duration_s=100.0)
+        estimate = estimator.expected_max(10.0)
+        # Expected max of 1000 uniforms on [0, 10] ~ 10 * 1000/1001.
+        assert estimate == pytest.approx(9.99, abs=0.15)
+
+    def test_monotone_in_horizon(self):
+        rng = RngStream(8, "mono")
+        data = [rng.pareto(0.1, 1.5) for _ in range(20_000)]
+        estimator = WorstCaseEstimator(data, duration_s=100.0)
+        horizons = [1.0, 10.0, 100.0, 1000.0, 10_000.0]
+        estimates = [estimator.expected_max(h) for h in horizons]
+        for a, b in zip(estimates, estimates[1:]):
+            assert b >= a - 1e-9
+
+    def test_extrapolation_continues_from_observed_max(self):
+        rng = RngStream(9, "ext")
+        data = sorted(rng.pareto(0.1, 2.0) for _ in range(50_000))
+        estimator = WorstCaseEstimator(data, duration_s=100.0)
+        # 100x the events => estimate ~ max * 100^(1/alpha) ~ max * 10.
+        estimate = estimator.expected_max(10_000.0)
+        assert data[-1] < estimate < data[-1] * 30
+
+    def test_cap_applies(self):
+        rng = RngStream(10, "cap")
+        data = [rng.pareto(1.0, 1.0) for _ in range(5_000)]
+        estimator = WorstCaseEstimator(data, duration_s=10.0, cap_ms=50.0)
+        assert estimator.expected_max(1e9) <= 50.0
+
+    def test_tiny_horizon_clamped_to_one_event(self):
+        data = self.uniform_data()
+        estimator = WorstCaseEstimator(data, duration_s=100.0)
+        value = estimator.expected_max(1e-9)
+        # One draw: expected max ~ median-ish region, must be a real value.
+        assert 0.0 <= value <= 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorstCaseEstimator([], duration_s=1.0)
+        with pytest.raises(ValueError):
+            WorstCaseEstimator([1.0], duration_s=0.0)
+        estimator = WorstCaseEstimator([1.0, 2.0], duration_s=1.0)
+        with pytest.raises(ValueError):
+            estimator.expected_max(0.0)
+
+
+def synthetic_sample_set(n=2000, seed=6):
+    clock = CpuClock()
+    rng = RngStream(seed, "ss")
+    ss = SampleSet(clock, "win98", "office", duration_s=float(n) / 400.0)
+    ms = clock.ms_to_cycles
+    t = 0
+    for i in range(n):
+        t += ms(2.5)
+        isr_lat = rng.lognormal(0.01, 0.5)
+        dpc_lat = isr_lat + rng.lognormal(0.02, 0.5)
+        thread_lat = rng.pareto(0.02, 1.6)
+        ss.add(
+            RawSample(
+                seq=i,
+                priority=28 if i % 2 == 0 else 24,
+                t_read=t,
+                delay_cycles=ms(1.0),
+                t_assert=t + ms(1.3),
+                t_isr=t + ms(1.3 + isr_lat),
+                t_dpc=t + ms(1.3 + dpc_lat),
+                t_thread=t + ms(1.3 + dpc_lat + thread_lat),
+            )
+        )
+    return ss
+
+
+class TestWorstCaseTable:
+    def test_builds_all_rows(self):
+        table = WorstCaseTable(synthetic_sample_set())
+        assert len(table.rows) == len(TABLE3_ROWS)
+
+    def test_hour_le_day_le_week(self):
+        table = WorstCaseTable(synthetic_sample_set())
+        for row in table.rows:
+            assert row.max_per_hour_ms <= row.max_per_day_ms + 1e-9
+            assert row.max_per_day_ms <= row.max_per_week_ms + 1e-9
+
+    def test_row_lookup(self):
+        table = WorstCaseTable(synthetic_sample_set())
+        row = table.row(LatencyKind.THREAD, 28)
+        assert row is not None
+        assert row.priority == 28
+        assert table.row(LatencyKind.THREAD, 99) is None
+
+    def test_format_contains_labels(self):
+        text = WorstCaseTable(synthetic_sample_set()).format()
+        assert "H/W Int. to S/W ISR" in text
+        assert "Max/Wk" in text
+
+    def test_time_compression_scales_horizons(self):
+        ss = synthetic_sample_set()
+        relaxed = WorstCaseTable(ss, time_compression=DEFAULT_TIME_COMPRESSION)
+        literal = WorstCaseTable(ss, time_compression=1.0)
+        # Literal horizons hold far more events -> worst cases at least as big.
+        for r_row, l_row in zip(relaxed.rows, literal.rows):
+            assert l_row.max_per_week_ms >= r_row.max_per_week_ms - 1e-9
+
+    def test_invalid_compression(self):
+        with pytest.raises(ValueError):
+            WorstCaseTable(synthetic_sample_set(), time_compression=0.0)
+
+    def test_custom_pattern(self):
+        pattern = UsagePattern("custom", hours_per_day=1.0, days_per_week=1.0)
+        table = WorstCaseTable(synthetic_sample_set(), pattern=pattern)
+        assert table.pattern.name == "custom"

@@ -1,0 +1,62 @@
+"""The example scripts run end-to-end (tiny durations)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    return completed.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "--duration", "4", "--workload", "office")
+        assert "Max/Wk" in out
+        assert "kernel activity" in out
+
+    def test_quickstart_nt(self):
+        out = run_example("quickstart.py", "--duration", "4", "--os", "nt4")
+        assert "nt4" in out
+
+    def test_compare_os(self):
+        out = run_example(
+            "compare_os.py", "--duration", "6", "--workload", "games", "--skip-throughput"
+        )
+        assert "Paper claims" in out
+        assert "ratios" in out
+
+    def test_softmodem_qos(self):
+        out = run_example("softmodem_qos.py", "--duration", "6")
+        assert "Figure 6" in out
+        assert "schedulability" in out
+
+    def test_latency_detective(self):
+        out = run_example("latency_detective.py", "--duration", "6")
+        assert "who got worse" in out
+        assert "VSHIELD" in out
+
+    def test_win2000_preview(self):
+        out = run_example("win2000_preview.py", "--duration", "5")
+        assert "win2k" in out
+        assert "NMI profiling" in out
+
+    def test_deep_dive(self, tmp_path):
+        out = run_example(
+            "deep_dive.py", "--duration", "4", "--seeds", "2",
+            "--export-dir", str(tmp_path),
+        )
+        assert "worst thread-latency cycle" in out
+        assert (tmp_path / "samples.csv").exists()
+        assert (tmp_path / "samples.json").exists()

@@ -1,0 +1,131 @@
+"""The measurement campaign runner and comparison reports."""
+
+import pytest
+
+from repro.core.experiment import (
+    ExperimentConfig,
+    build_loaded_os,
+    run_latency_experiment,
+    run_matrix,
+)
+from repro.core.report import (
+    OsComparison,
+    ServiceQuality,
+    compare_sample_sets,
+    format_figure4_panel,
+)
+from repro.core.samples import LatencyKind
+from repro.workloads.perturbations import VIRUS_SCANNER
+
+
+class TestExperimentConfig:
+    def test_overrides(self):
+        config = ExperimentConfig().with_overrides(os_name="nt4", duration_s=5.0)
+        assert config.os_name == "nt4"
+        assert config.duration_s == 5.0
+        assert config.workload == "office"  # untouched
+
+
+class TestBuildLoadedOs:
+    def test_builds_and_applies(self):
+        os, applied = build_loaded_os("win98", "office", seed=3)
+        assert os.name == "win98"
+        assert applied.intrusion_sources
+        assert applied.device_sources
+        assert applied.app_threads
+
+    def test_extra_profile_merged(self):
+        os, applied = build_loaded_os(
+            "win98", "office", seed=3, extra_profile=VIRUS_SCANNER
+        )
+        names = {s.spec.name for s in applied.intrusion_sources}
+        assert "vshield-scan" in names
+
+    def test_unknown_os(self):
+        with pytest.raises(KeyError):
+            build_loaded_os("os2warp", "office", seed=1)
+
+
+class TestRunExperiment:
+    def test_short_campaign_produces_samples(self):
+        result = run_latency_experiment(
+            ExperimentConfig(os_name="win98", workload="office", duration_s=5.0, seed=9)
+        )
+        ss = result.sample_set
+        assert len(ss) > 500
+        assert ss.os_name == "win98"
+        assert ss.workload == "office"
+        assert 4.5 <= ss.duration_s <= 5.5
+        assert result.kernel_stats.interrupts_delivered > 4000
+
+    def test_warmup_excluded_from_duration(self):
+        result = run_latency_experiment(
+            ExperimentConfig(
+                os_name="nt4", workload="idle", duration_s=3.0, warmup_s=2.0, seed=9
+            )
+        )
+        assert result.sample_set.duration_s == pytest.approx(3.0, abs=0.1)
+
+    def test_determinism_same_seed(self):
+        config = ExperimentConfig(os_name="win98", workload="office", duration_s=2.0, seed=77)
+        a = run_latency_experiment(config)
+        b = run_latency_experiment(config)
+        la = a.sample_set.latencies_ms(LatencyKind.THREAD, priority=28)
+        lb = b.sample_set.latencies_ms(LatencyKind.THREAD, priority=28)
+        assert la == lb
+
+    def test_different_seeds_differ(self):
+        base = ExperimentConfig(os_name="win98", workload="office", duration_s=2.0)
+        a = run_latency_experiment(base.with_overrides(seed=1))
+        b = run_latency_experiment(base.with_overrides(seed=2))
+        assert a.sample_set.latencies_ms(LatencyKind.THREAD, priority=28) != \
+            b.sample_set.latencies_ms(LatencyKind.THREAD, priority=28)
+
+    def test_run_matrix_covers_grid(self):
+        results = run_matrix(
+            os_names=("nt4", "win98"), workloads=("idle",), duration_s=1.0, seed=5
+        )
+        assert set(results) == {("nt4", "idle"), ("win98", "idle")}
+
+
+class TestReports:
+    def run_pair(self, workload="office", duration_s=8.0):
+        nt = run_latency_experiment(
+            ExperimentConfig(os_name="nt4", workload=workload, duration_s=duration_s, seed=55)
+        )
+        w98 = run_latency_experiment(
+            ExperimentConfig(os_name="win98", workload=workload, duration_s=duration_s, seed=55)
+        )
+        return nt.sample_set, w98.sample_set
+
+    def test_service_quality_fields(self):
+        nt, w98 = self.run_pair()
+        quality = ServiceQuality.from_sample_set(w98)
+        assert quality.os_name == "win98"
+        assert quality.dpc_interrupt_ms > 0
+        assert quality.thread_high_ms > 0
+
+    def test_comparison_ratios_positive(self):
+        nt, w98 = self.run_pair()
+        comparison = compare_sample_sets(nt, w98)
+        assert comparison.nt_dpc_advantage_over_98_dpc > 0
+        assert comparison.nt_default_thread_penalty > 0
+        text = comparison.format()
+        assert "Win98 DPC / NT DPC" in text
+
+    def test_comparison_rejects_mixed_workloads(self):
+        nt, _ = self.run_pair()
+        other = run_latency_experiment(
+            ExperimentConfig(os_name="win98", workload="idle", duration_s=2.0, seed=3)
+        ).sample_set
+        with pytest.raises(ValueError):
+            OsComparison(
+                nt4=ServiceQuality.from_sample_set(nt),
+                win98=ServiceQuality.from_sample_set(other),
+            )
+
+    def test_figure4_panel_renders(self):
+        nt, w98 = self.run_pair(duration_s=4.0)
+        text = format_figure4_panel(w98, LatencyKind.THREAD, priority=28)
+        assert "thread_latency" in text
+        assert "total=" in text

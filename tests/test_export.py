@@ -1,0 +1,78 @@
+"""Serialisation round-trips for measurement data."""
+
+import pytest
+
+from repro.core.export import (
+    latencies_to_csv,
+    sample_set_from_csv,
+    sample_set_from_json,
+    sample_set_to_csv,
+    sample_set_to_json,
+)
+from repro.core.samples import LatencyKind
+from tests.test_core_worst_case import synthetic_sample_set
+
+
+@pytest.fixture()
+def sample_set():
+    return synthetic_sample_set(n=50)
+
+
+class TestCsv:
+    def test_round_trip(self, sample_set):
+        text = sample_set_to_csv(sample_set)
+        restored = sample_set_from_csv(text)
+        assert restored.os_name == sample_set.os_name
+        assert restored.workload == sample_set.workload
+        assert restored.duration_s == sample_set.duration_s
+        assert len(restored) == len(sample_set)
+        assert restored.latencies_ms(LatencyKind.THREAD, priority=28) == \
+            sample_set.latencies_ms(LatencyKind.THREAD, priority=28)
+
+    def test_none_fields_survive(self, sample_set):
+        sample_set.samples[0].t_isr = None
+        restored = sample_set_from_csv(sample_set_to_csv(sample_set))
+        assert restored.samples[0].t_isr is None
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ValueError):
+            sample_set_from_csv("seq,priority\n1,2\n")
+
+    def test_latencies_view(self, sample_set):
+        text = latencies_to_csv(sample_set)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("seq,priority,")
+        assert "thread_latency_ms" in lines[0]
+        assert len(lines) == len(sample_set) + 1
+
+
+class TestJson:
+    def test_round_trip(self, sample_set):
+        restored = sample_set_from_json(sample_set_to_json(sample_set))
+        assert len(restored) == len(sample_set)
+        assert restored.clock.hz == sample_set.clock.hz
+        for a, b in zip(restored.samples, sample_set.samples):
+            assert a.t_thread == b.t_thread
+            assert a.priority == b.priority
+
+    def test_schema_checked(self):
+        with pytest.raises(ValueError):
+            sample_set_from_json('{"schema": "other/9", "samples": []}')
+
+    def test_indent_option(self, sample_set):
+        pretty = sample_set_to_json(sample_set, indent=2)
+        assert "\n  " in pretty
+
+
+class TestRealRunRoundTrip:
+    def test_real_campaign_survives_export(self):
+        from repro.core.experiment import ExperimentConfig, run_latency_experiment
+        from repro.core.worst_case import WorstCaseTable
+
+        ss = run_latency_experiment(
+            ExperimentConfig(os_name="win98", workload="office", duration_s=3.0, seed=8)
+        ).sample_set
+        restored = sample_set_from_csv(sample_set_to_csv(ss))
+        original_table = WorstCaseTable(ss).format()
+        restored_table = WorstCaseTable(restored).format()
+        assert original_table == restored_table

@@ -1,0 +1,196 @@
+"""Hardware substrate: TSC, PIC, PIT, devices, machine assembly."""
+
+import pytest
+
+from repro.hw.machine import Machine, MachineConfig
+from repro.hw.pic import InterruptController, InterruptVector
+from repro.hw.pit import MAX_FREQUENCY_HZ, MIN_FREQUENCY_HZ, ProgrammableIntervalTimer
+from repro.hw.tsc import TimeStampCounter
+from repro.sim.clock import CpuClock
+from repro.sim.engine import Engine
+
+
+class TestTsc:
+    def test_reads_engine_cycles(self):
+        engine = Engine()
+        tsc = TimeStampCounter(engine)
+        engine.run_until(12345)
+        assert tsc.read() == 12345
+
+    def test_boot_offset(self):
+        engine = Engine()
+        tsc = TimeStampCounter(engine, boot_offset=1_000_000)
+        engine.run_until(5)
+        assert tsc.read() == 1_000_005
+
+    def test_low_high_split(self):
+        engine = Engine()
+        tsc = TimeStampCounter(engine, boot_offset=(2**32) + 7)
+        low, high = tsc.low_high()
+        assert low == 7
+        assert high == 1
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            TimeStampCounter(Engine(), boot_offset=-1)
+
+
+class TestPic:
+    def make(self):
+        pic = InterruptController()
+        pic.register(InterruptVector(name="a", irql=5))
+        pic.register(InterruptVector(name="b", irql=12))
+        return pic
+
+    def test_assert_and_pending(self):
+        pic = self.make()
+        assert pic.assert_irq("a", now=100)
+        assert pic.vector("a").pending
+        assert pic.any_pending()
+
+    def test_coalescing(self):
+        pic = self.make()
+        assert pic.assert_irq("a", 100)
+        assert not pic.assert_irq("a", 110)  # already pending
+        assert pic.vector("a").coalesced == 1
+
+    def test_highest_pending_by_irql(self):
+        pic = self.make()
+        pic.assert_irq("a", 100)
+        pic.assert_irq("b", 110)
+        best = pic.highest_pending(above_irql=0)
+        assert best.name == "b"  # irql 12 > 5
+
+    def test_highest_pending_respects_floor(self):
+        pic = self.make()
+        pic.assert_irq("a", 100)
+        assert pic.highest_pending(above_irql=5) is None
+        assert pic.highest_pending(above_irql=4).name == "a"
+
+    def test_fifo_within_level(self):
+        pic = InterruptController()
+        pic.register(InterruptVector(name="x", irql=8))
+        pic.register(InterruptVector(name="y", irql=8))
+        pic.assert_irq("y", 50)
+        pic.assert_irq("x", 60)
+        assert pic.highest_pending(0).name == "y"
+
+    def test_acknowledge_clears_and_returns_assert_time(self):
+        pic = self.make()
+        pic.assert_irq("a", 123)
+        assert pic.acknowledge("a") == 123
+        assert not pic.vector("a").pending
+
+    def test_acknowledge_nonpending_raises(self):
+        pic = self.make()
+        with pytest.raises(RuntimeError):
+            pic.acknowledge("a")
+
+    def test_duplicate_registration_rejected(self):
+        pic = self.make()
+        with pytest.raises(ValueError):
+            pic.register(InterruptVector(name="a", irql=6))
+
+    def test_irql_bounds_enforced(self):
+        pic = InterruptController()
+        with pytest.raises(ValueError):
+            pic.register(InterruptVector(name="bad", irql=2))
+
+    def test_delivery_hook_invoked(self):
+        pic = self.make()
+        pokes = []
+        pic.delivery_hook = lambda: pokes.append(1)
+        pic.assert_irq("a", 10)
+        assert pokes == [1]
+
+
+class TestPit:
+    def make(self, hz=100.0):
+        engine = Engine()
+        clock = CpuClock()
+        pic = InterruptController()
+        pic.register(InterruptVector(name="pit", irql=28))
+        pit = ProgrammableIntervalTimer(engine, clock, pic, frequency_hz=hz)
+        return engine, clock, pic, pit
+
+    def test_ticks_at_programmed_rate(self):
+        engine, clock, pic, pit = self.make(hz=1000.0)
+        asserted = []
+        pic.delivery_hook = lambda: asserted.append(engine.now) or pic.acknowledge("pit")
+        pit.start()
+        engine.run_until(clock.ms_to_cycles(50))
+        assert len(asserted) == 50
+
+    def test_default_rate_is_100hz(self):
+        engine, clock, pic, pit = self.make()
+        assert pit.period_ms == pytest.approx(10.0)
+
+    def test_reprogram_takes_effect(self):
+        engine, clock, pic, pit = self.make(hz=100.0)
+        ticks = []
+        pic.delivery_hook = lambda: ticks.append(engine.now) or pic.acknowledge("pit")
+        pit.start()
+        engine.run_until(clock.ms_to_cycles(20))
+        pit.set_frequency(1000.0)
+        before = len(ticks)
+        engine.run_until(clock.ms_to_cycles(40))
+        assert len(ticks) - before >= 18  # ~20 ticks in 20 ms at 1 kHz
+
+    def test_hardware_range_enforced(self):
+        engine, clock, pic, pit = self.make()
+        with pytest.raises(ValueError):
+            pit.set_frequency(MIN_FREQUENCY_HZ / 2)
+        with pytest.raises(ValueError):
+            pit.set_frequency(MAX_FREQUENCY_HZ * 2)
+
+    def test_stop_halts_ticks(self):
+        engine, clock, pic, pit = self.make(hz=1000.0)
+        pit.start()
+        engine.run_until(clock.ms_to_cycles(5))
+        pit.stop()
+        count = pit.ticks
+        engine.run_until(clock.ms_to_cycles(50))
+        assert pit.ticks == count
+
+    def test_start_idempotent(self):
+        engine, clock, pic, pit = self.make(hz=1000.0)
+        pit.start()
+        pit.start()
+        engine.run_until(clock.ms_to_cycles(10))
+        assert 9 <= pit.ticks <= 11
+
+
+class TestMachine:
+    def test_table2_peripherals_present(self):
+        machine = Machine()
+        for name in ("ide0", "cdrom", "nic", "audio", "gpu", "usb"):
+            assert name in machine.devices
+
+    def test_device_complete_in_raises_irq(self):
+        machine = Machine()
+        device = machine.device("ide0")
+        device.complete_in(2.0)
+        machine.run_for_ms(1.0)
+        assert not machine.pic.vector("ide0").pending
+        machine.run_for_ms(1.5)
+        assert machine.pic.vector("ide0").pending
+
+    def test_device_negative_delay_rejected(self):
+        machine = Machine()
+        with pytest.raises(ValueError):
+            machine.device("ide0").complete_in(-1.0)
+
+    def test_now_ms(self):
+        machine = Machine()
+        machine.run_for_ms(12.5)
+        assert machine.now_ms() == pytest.approx(12.5)
+
+    def test_config_applies(self):
+        machine = Machine(MachineConfig(cpu_hz=600_000_000, pit_hz=1000.0))
+        assert machine.clock.hz == 600_000_000
+        assert machine.pit.frequency_hz == 1000.0
+
+    def test_device_irqls_are_device_levels(self):
+        machine = Machine()
+        for device in machine.devices.values():
+            assert 3 <= device.config.irql <= 26

@@ -1,0 +1,193 @@
+"""Intrusion machinery: each kind hits exactly its latency row."""
+
+import pytest
+
+from repro.kernel import irql
+from repro.kernel.intrusions import (
+    AppThreadSpec,
+    DeviceActivitySpec,
+    IntrusionKind,
+    IntrusionSpec,
+    IntrusionSource,
+    LoadProfile,
+    SectionExecutor,
+    apply_load_profile,
+)
+from repro.kernel.boot import boot_os
+from repro.kernel.requests import Run, Wait
+from repro.kernel.objects import KEvent
+from repro.sim.rng import DurationDistribution, RngStream
+from tests.conftest import make_bare_kernel, make_machine
+
+
+def fixed(ms):
+    return DurationDistribution.fixed(ms)
+
+
+class TestSpecs:
+    def test_intrusion_spec_validation(self):
+        with pytest.raises(ValueError):
+            IntrusionSpec("x", IntrusionKind.CLI, rate_hz=0.0, duration=fixed(1.0))
+        with pytest.raises(ValueError):
+            IntrusionSpec("x", IntrusionKind.ISR, rate_hz=1.0, duration=fixed(1.0), irql=31)
+
+    def test_intrusion_spec_scaled(self):
+        spec = IntrusionSpec("x", IntrusionKind.CLI, rate_hz=10.0, duration=fixed(1.0))
+        scaled = spec.scaled(rate_factor=2.0, duration_factor=3.0)
+        assert scaled.rate_hz == 20.0
+        assert scaled.duration.body_median_ms == pytest.approx(3.0)
+
+    def test_device_spec_validation(self):
+        with pytest.raises(ValueError):
+            DeviceActivitySpec("ide0", rate_hz=0.0, isr_duration=fixed(0.01), dpc_duration=fixed(0.05))
+
+    def test_app_thread_priority_must_be_normal_class(self):
+        with pytest.raises(ValueError):
+            AppThreadSpec("x", priority=20, compute=fixed(1.0))
+
+    def test_load_profile_merge(self):
+        a = LoadProfile(name="a", intrusions=(IntrusionSpec("i", IntrusionKind.CLI, 1.0, fixed(1.0)),))
+        b = LoadProfile(name="b", intrusions=(IntrusionSpec("j", IntrusionKind.DPC, 1.0, fixed(1.0)),))
+        merged = a.merged_with(b)
+        assert merged.name == "a+b"
+        assert len(merged.intrusions) == 2
+
+
+class TestSectionExecutor:
+    def test_runs_bursts_at_top_priority(self):
+        machine, kernel = make_bare_kernel()
+        executor = SectionExecutor(kernel)
+        assert executor.thread.priority == 31
+        executor.submit(2.0, ("VMM", "_test"))
+        machine.run_for_ms(5)
+        assert executor.bursts_run == 1
+        assert executor.backlog == 0
+
+    def test_blocks_lower_priority_threads_while_busy(self):
+        machine, kernel = make_bare_kernel()
+        executor = SectionExecutor(kernel)
+        progress = []
+
+        def rt_thread(k, t):
+            while True:
+                progress.append(k.engine.now)
+                yield Run(k.clock.ms_to_cycles(0.1))
+
+        kernel.create_thread("rt", 28, rt_thread)
+        machine.run_for_ms(1)
+        executor.submit(10.0, ("VMM", "_long"))
+        machine.run_for_ms(0.5)
+        count_at_submit = len(progress)
+        machine.run_for_ms(9.0)  # executor busy the whole time
+        assert len(progress) - count_at_submit <= 1
+        machine.run_for_ms(5)
+        assert len(progress) > count_at_submit + 5  # resumed after burst
+
+
+class TestIntrusionEffects:
+    """Each intrusion kind delays its row and leaves the others alone."""
+
+    def run_with_intrusion(self, kind, duration_ms=5.0, irql_level=20):
+        from repro.drivers.latency import LatencyToolConfig, WdmLatencyTool
+        from repro.core.samples import LatencyKind
+
+        machine = make_machine(seed=13)
+        os = boot_os(machine, "nt4", baseline_load=False)
+        spec = IntrusionSpec(
+            name="test",
+            kind=kind,
+            rate_hz=40.0,
+            duration=fixed(duration_ms),
+            irql=irql_level,
+        )
+        apply_load_profile(
+            os.kernel,
+            LoadProfile(name="t", intrusions=(spec,)),
+            RngStream(1, "t"),
+            section_executor=os.section_executor,
+        )
+        tool = WdmLatencyTool(os, LatencyToolConfig(omniscient=True))
+        tool.start()
+        machine.run_for_ms(4000)
+        ss = tool.collect("test")
+        return {
+            "isr": max(ss.latencies_ms(LatencyKind.ISR, origin="truth")),
+            "dpc": max(ss.latencies_ms(LatencyKind.DPC)),
+            "thread": max(
+                ss.latencies_ms(LatencyKind.THREAD, priority=28)
+                + ss.latencies_ms(LatencyKind.THREAD, priority=24)
+            ),
+        }
+
+    def test_cli_intrusion_hits_isr_latency(self):
+        maxima = self.run_with_intrusion(IntrusionKind.CLI)
+        assert maxima["isr"] > 2.0  # delayed by ~5 ms masked regions
+
+    def test_dpc_intrusion_hits_dpc_latency_not_isr(self):
+        maxima = self.run_with_intrusion(IntrusionKind.DPC)
+        assert maxima["dpc"] > 2.0
+        assert maxima["isr"] < 1.0  # ISRs unaffected by queued DPCs
+
+    def test_section_intrusion_hits_thread_latency_only(self):
+        maxima = self.run_with_intrusion(IntrusionKind.SECTION)
+        assert maxima["thread"] > 2.0
+        assert maxima["isr"] < 1.0
+        assert maxima["dpc"] < 1.0
+
+    def test_isr_intrusion_blocks_lower_irql(self):
+        maxima = self.run_with_intrusion(IntrusionKind.ISR, irql_level=20)
+        # DPCs (and the whole DPC path) wait behind a 5 ms DIRQL region.
+        assert maxima["dpc"] > 2.0 or maxima["isr"] > 2.0
+
+
+class TestDeviceActivity:
+    def test_device_interrupts_run_isr_and_dpc(self):
+        machine = make_machine(seed=4)
+        os = boot_os(machine, "nt4", baseline_load=False)
+        spec = DeviceActivitySpec(
+            device="ide0", rate_hz=200.0,
+            isr_duration=fixed(0.01), dpc_duration=fixed(0.05),
+        )
+        applied = apply_load_profile(
+            os.kernel, LoadProfile(name="d", devices=(spec,)), RngStream(2, "d")
+        )
+        machine.run_for_ms(2000)
+        source = applied.device_sources[0]
+        assert source.fired > 300
+        assert os.kernel.stats.per_vector.get("ide0", 0) > 300
+        assert source._dpc.run_count > 300
+
+    def test_section_without_executor_rejected(self):
+        machine, kernel = make_bare_kernel()
+        spec = IntrusionSpec("s", IntrusionKind.SECTION, 1.0, fixed(1.0))
+        with pytest.raises(ValueError):
+            IntrusionSource(kernel, spec, RngStream(1, "x"), section_executor=None)
+
+    def test_work_items_require_queue(self):
+        from repro.kernel.intrusions import WorkItemLoadSpec
+
+        machine = make_machine(seed=5)
+        os = boot_os(machine, "win98", baseline_load=False)  # no work items on 98
+        profile = LoadProfile(
+            name="w", work_items=WorkItemLoadSpec(rate_hz=1.0, duration=fixed(1.0))
+        )
+        with pytest.raises(ValueError):
+            apply_load_profile(
+                os.kernel, profile, RngStream(3, "w"),
+                section_executor=os.section_executor, work_item_queue=os.work_items,
+            )
+
+
+class TestAppThreads:
+    def test_app_thread_alternates_compute_and_think(self):
+        machine, kernel = make_bare_kernel(boot=True)  # needs clock for timers
+        spec = AppThreadSpec(
+            "app", priority=8, compute=fixed(1.0), think=fixed(2.0)
+        )
+        applied = apply_load_profile(
+            kernel, LoadProfile(name="a", app_threads=(spec,)), RngStream(4, "a")
+        )
+        machine.run_for_ms(100)
+        source = applied.app_threads[0]
+        # ~100 ms / (1 compute + ~2-3 think with tick rounding) per burst.
+        assert 20 <= source.bursts <= 40

@@ -1,0 +1,241 @@
+"""Mutexes, multi-object waits, and bugcheck semantics."""
+
+import pytest
+
+from repro.kernel.kernel import BugCheck
+from repro.kernel.objects import KEvent, KMutex, KTimer, WaitStatus
+from repro.kernel.requests import Run, Wait, WaitAny
+from tests.conftest import make_bare_kernel
+
+
+class TestKMutex:
+    def test_uncontended_acquire_release(self):
+        machine, kernel = make_bare_kernel()
+        mutex = KMutex(name="m")
+        log = []
+
+        def body(k, t):
+            status = yield Wait(mutex)
+            log.append(status)
+            k.release_mutex(mutex)
+            yield Run(10)
+
+        kernel.create_thread("t", 8, body)
+        machine.run_for_ms(1)
+        assert log == [WaitStatus.OBJECT]
+        assert mutex.owner is None
+
+    def test_mutual_exclusion_and_fifo_handoff(self):
+        machine, kernel = make_bare_kernel()
+        mutex = KMutex(name="m")
+        order = []
+
+        def body(name, hold_ms):
+            def gen(k, t):
+                yield Wait(mutex)
+                order.append(f"{name}-in")
+                yield Run(k.clock.ms_to_cycles(hold_ms))
+                order.append(f"{name}-out")
+                k.release_mutex(mutex)
+                yield Run(10)
+
+            return gen
+
+        kernel.create_thread("a", 8, body("a", 2.0))
+        machine.run_for_ms(0.5)  # a holds the mutex
+        kernel.create_thread("b", 8, body("b", 0.5))
+        kernel.create_thread("c", 8, body("c", 0.5))
+        machine.run_for_ms(20)
+        assert order == ["a-in", "a-out", "b-in", "b-out", "c-in", "c-out"]
+
+    def test_recursive_acquisition(self):
+        machine, kernel = make_bare_kernel()
+        mutex = KMutex(name="m")
+        log = []
+
+        def body(k, t):
+            yield Wait(mutex)
+            status = yield Wait(mutex)  # recursive: must not deadlock
+            log.append(status)
+            k.release_mutex(mutex)
+            assert mutex.owner is t  # still held once
+            k.release_mutex(mutex)
+            log.append(mutex.owner)
+            yield Run(10)
+
+        kernel.create_thread("t", 8, body)
+        machine.run_for_ms(5)
+        assert log == [WaitStatus.OBJECT, None]
+
+    def test_release_by_non_owner_rejected(self):
+        machine, kernel = make_bare_kernel()
+        mutex = KMutex(name="m")
+
+        def owner(k, t):
+            yield Wait(mutex)
+            yield Run(k.clock.ms_to_cycles(10.0))
+
+        def thief(k, t):
+            k.release_mutex(mutex)
+            yield Run(10)
+
+        kernel.create_thread("owner", 10, owner)
+        machine.run_for_ms(0.5)
+        kernel.create_thread("thief", 12, thief)
+        with pytest.raises(BugCheck):
+            machine.run_for_ms(5)
+
+
+class TestWaitAny:
+    def test_presignaled_object_returns_index(self):
+        machine, kernel = make_bare_kernel()
+        a = KEvent(synchronization=True, name="a")
+        b = KEvent(synchronization=True, initial_state=True, name="b")
+        result = []
+
+        def body(k, t):
+            status, index = yield WaitAny((a, b))
+            result.append((status, index))
+
+        kernel.create_thread("t", 8, body)
+        machine.run_for_ms(1)
+        assert result == [(WaitStatus.OBJECT, 1)]
+        assert not b.is_signaled()  # consumed
+
+    def test_wakes_on_whichever_fires_first(self):
+        machine, kernel = make_bare_kernel(boot=True)
+        a = KEvent(synchronization=True, name="a")
+        b = KEvent(synchronization=True, name="b")
+        result = []
+
+        def waiter(k, t):
+            status, index = yield WaitAny((a, b))
+            result.append(index)
+            # Must have been withdrawn from the other object's queue.
+            assert t not in a.waiters and t not in b.waiters
+
+        kernel.create_thread("w", 8, waiter)
+        machine.run_for_ms(1)
+
+        def signaler(k, t):
+            k.set_event(b)
+            yield Run(10)
+
+        kernel.create_thread("s", 10, signaler)
+        machine.run_for_ms(2)
+        assert result == [1]
+
+    def test_timeout_returns_timeout_and_cleans_up(self):
+        machine, kernel = make_bare_kernel()
+        a = KEvent(synchronization=True, name="a")
+        b = KEvent(synchronization=True, name="b")
+        result = []
+
+        def body(k, t):
+            status, index = yield WaitAny((a, b), timeout_ms=2.0)
+            result.append((status, index))
+            assert not a.waiters and not b.waiters
+
+        kernel.create_thread("t", 8, body)
+        machine.run_for_ms(10)
+        assert result == [(WaitStatus.TIMEOUT, None)]
+
+    def test_sync_event_consumed_by_exactly_one_multiwaiter(self):
+        machine, kernel = make_bare_kernel()
+        shared = KEvent(synchronization=True, name="shared")
+        other = KEvent(synchronization=True, name="other")
+        woken = []
+
+        def waiter(name):
+            def gen(k, t):
+                status, index = yield WaitAny((shared, other))
+                woken.append((name, index))
+
+            return gen
+
+        kernel.create_thread("w1", 8, waiter("w1"))
+        kernel.create_thread("w2", 8, waiter("w2"))
+        machine.run_for_ms(1)
+
+        def signaler(k, t):
+            k.set_event(shared)
+            yield Run(10)
+
+        kernel.create_thread("s", 10, signaler)
+        machine.run_for_ms(2)
+        assert woken == [("w1", 0)]  # FIFO: only the first waiter
+
+    def test_empty_objs_rejected(self):
+        with pytest.raises(ValueError):
+            WaitAny(())
+
+    def test_mixed_object_kinds(self):
+        machine, kernel = make_bare_kernel(boot=True)
+        event = KEvent(synchronization=True, name="e")
+        timer = KTimer(name="t")
+        result = []
+
+        def body(k, t):
+            k.set_timer(timer, 3.0)
+            status, index = yield WaitAny((event, timer))
+            result.append(index)
+
+        kernel.create_thread("t", 8, body)
+        machine.run_for_ms(10)
+        assert result == [1]  # the timer fired
+
+
+class TestBugCheck:
+    def test_thread_fault_bugchecks(self):
+        machine, kernel = make_bare_kernel()
+
+        def body(k, t):
+            yield Run(100)
+            raise ValueError("driver bug")
+
+        kernel.create_thread("buggy", 8, body)
+        with pytest.raises(BugCheck) as info:
+            machine.run_for_ms(1)
+        assert "KMODE_EXCEPTION_NOT_HANDLED" in str(info.value)
+        assert isinstance(info.value.__cause__, ValueError)
+        assert kernel.bugchecked
+
+    def test_dpc_fault_bugchecks_with_context(self):
+        machine, kernel = make_bare_kernel()
+        from repro.kernel.dpc import Dpc
+
+        def routine(k, dpc):
+            yield Run(10)
+            raise KeyError("boom")
+
+        kernel.queue_dpc(Dpc(routine, name="_BadDpc", module="BADDRV"))
+        with pytest.raises(BugCheck) as info:
+            machine.run_for_ms(1)
+        assert info.value.context == ("BADDRV", "_BadDpc")
+
+    def test_isr_fault_bugchecks(self):
+        machine, kernel = make_bare_kernel()
+        from repro.hw.pic import InterruptVector
+
+        machine.pic.register(InterruptVector(name="bad", irql=10, latency_cycles=0))
+
+        def isr(k, vector, asserted_at):
+            yield Run(10)
+            raise RuntimeError("isr bug")
+
+        kernel.connect_interrupt("bad", isr)
+        machine.pic.assert_irq("bad", machine.engine.now)
+        with pytest.raises(BugCheck):
+            machine.run_for_ms(1)
+
+    def test_stop_code_includes_exception_type(self):
+        machine, kernel = make_bare_kernel()
+
+        def body(k, t):
+            yield Run(10)
+            raise ZeroDivisionError()
+
+        kernel.create_thread("t", 8, body)
+        with pytest.raises(BugCheck) as info:
+            machine.run_for_ms(1)
+        assert "ZeroDivisionError" in info.value.stop_code

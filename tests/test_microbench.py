@@ -1,0 +1,48 @@
+"""The lmbench-style microbenchmark suite (section 1.2's foil)."""
+
+import pytest
+
+from repro.analysis.microbench import compare_microbenchmarks, run_microbench_suite
+
+
+@pytest.fixture(scope="module")
+def results():
+    return compare_microbenchmarks(iterations=150)
+
+
+class TestSuite:
+    def test_all_primitives_measured(self, results):
+        for result in results.values():
+            assert result.context_switch_us.count > 100
+            assert result.event_wake_us.count > 100
+            assert result.dpc_dispatch_us.count > 100
+            assert result.timer_error_us.count >= 30
+
+    def test_unloaded_averages_are_microseconds(self, results):
+        """On an idle system every primitive is tens of microseconds --
+        three orders of magnitude below the loaded worst cases."""
+        for result in results.values():
+            assert result.context_switch_us.mean < 100.0
+            assert result.event_wake_us.mean < 100.0
+            assert result.dpc_dispatch_us.mean < 100.0
+
+    def test_timer_error_is_pit_bounded(self, results):
+        for result in results.values():
+            assert result.timer_error_us.maximum <= 1100.0  # one 1 kHz period
+
+    def test_win98_slower_but_comparable(self, results):
+        """The critique's setup: through the microbenchmark lens the OSes
+        differ by a small constant factor, nothing like the 10-100x the
+        loaded distributions show."""
+        nt = results["nt4"].context_switch_us.mean
+        w98 = results["win98"].context_switch_us.mean
+        assert 1.0 <= w98 / nt <= 3.0
+
+    def test_reproducible(self):
+        a = run_microbench_suite("nt4", iterations=60, seed=5)
+        b = run_microbench_suite("nt4", iterations=60, seed=5)
+        assert a.context_switch_us.mean == b.context_switch_us.mean
+
+    def test_format(self, results):
+        text = results["nt4"].format()
+        assert "context switch" in text and "us" in text

@@ -1,0 +1,106 @@
+"""Integration tests: the paper's headline claims hold in the simulation.
+
+These run short (tens of seconds of simulated time) campaigns and check the
+*orderings* the paper reports -- the quantitative Table 3 / Figure 4
+reproduction lives in benchmarks/ with longer runs.
+"""
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig, run_latency_experiment
+from repro.core.report import compare_sample_sets
+from repro.core.samples import LatencyKind
+from repro.workloads.perturbations import VIRUS_SCANNER
+
+DURATION_S = 40.0
+SEED = 1999
+
+
+@pytest.fixture(scope="module")
+def games_pair():
+    nt = run_latency_experiment(
+        ExperimentConfig(os_name="nt4", workload="games", duration_s=DURATION_S, seed=SEED)
+    )
+    w98 = run_latency_experiment(
+        ExperimentConfig(os_name="win98", workload="games", duration_s=DURATION_S, seed=SEED)
+    )
+    return nt.sample_set, w98.sample_set
+
+
+class TestHeadlineClaims:
+    def test_win98_dpc_worse_than_nt_dpc(self, games_pair):
+        nt, w98 = games_pair
+        comparison = compare_sample_sets(nt, w98)
+        assert comparison.nt_dpc_advantage_over_98_dpc > 2.0
+
+    def test_nt_high_rt_thread_order_of_magnitude_better_than_98_dpc(self, games_pair):
+        """The abstract's strongest claim (observed maxima: extrapolated
+        weekly figures are too noisy at this run length)."""
+        nt, w98 = games_pair
+        w98_dpc = max(w98.latencies_ms(LatencyKind.DPC_INTERRUPT))
+        nt_thread = max(nt.latencies_ms(LatencyKind.THREAD, priority=28))
+        assert w98_dpc > 3.0 * nt_thread
+
+    def test_nt_thread28_indistinguishable_from_nt_dpc(self, games_pair):
+        nt, w98 = games_pair
+        nt_thread = max(nt.latencies_ms(LatencyKind.THREAD, priority=28))
+        nt_dpc = max(nt.latencies_ms(LatencyKind.DPC_INTERRUPT))
+        assert nt_thread < 2.0 * nt_dpc
+
+    def test_win98_threads_order_of_magnitude_worse_than_win98_dpc(self, games_pair):
+        nt, w98 = games_pair
+        comparison = compare_sample_sets(nt, w98)
+        assert comparison.win98_dpc_advantage_over_own_threads > 3.0
+
+    def test_nt_priority24_much_worse_than_priority28(self, games_pair):
+        nt, w98 = games_pair
+        comparison = compare_sample_sets(nt, w98)
+        assert comparison.nt_default_thread_penalty > 4.0
+
+    def test_win98_thread_worst_case_is_tens_of_ms(self, games_pair):
+        _, w98 = games_pair
+        worst = max(w98.latencies_ms(LatencyKind.THREAD, priority=28))
+        assert worst > 10.0
+
+    def test_nt_stays_in_low_single_digit_ms(self, games_pair):
+        nt, _ = games_pair
+        worst_dpc = max(nt.latencies_ms(LatencyKind.DPC_INTERRUPT))
+        worst_thread = max(nt.latencies_ms(LatencyKind.THREAD, priority=28))
+        assert worst_dpc < 6.0
+        assert worst_thread < 6.0
+
+
+class TestDistributionShape:
+    def test_win98_distributions_heavy_tailed(self, games_pair):
+        """Section 4.2: 'highly non-symmetric, with a very long tail'."""
+        _, w98 = games_pair
+        values = sorted(w98.latencies_ms(LatencyKind.THREAD, priority=28))
+        median = values[len(values) // 2]
+        assert values[-1] > 50 * median
+
+    def test_isr_only_measurable_on_win98(self, games_pair):
+        nt, w98 = games_pair
+        assert nt.latencies_ms(LatencyKind.ISR) == []
+        assert len(w98.latencies_ms(LatencyKind.ISR)) == len(w98)
+
+
+class TestVirusScanner:
+    def test_scanner_inflates_16ms_thread_latency_frequency(self):
+        """Figure 5: 16 ms latencies two orders of magnitude more frequent."""
+        base = run_latency_experiment(
+            ExperimentConfig(
+                os_name="win98", workload="office", duration_s=DURATION_S, seed=SEED
+            )
+        ).sample_set
+        scanned = run_latency_experiment(
+            ExperimentConfig(
+                os_name="win98", workload="office", duration_s=DURATION_S, seed=SEED,
+                extra_profile=VIRUS_SCANNER,
+            )
+        ).sample_set
+
+        def frequency_over(ss, threshold):
+            values = ss.latencies_ms(LatencyKind.THREAD, priority=24)
+            return sum(1 for v in values if v > threshold) / max(1, len(values))
+
+        assert frequency_over(scanned, 10.0) > 10 * frequency_over(base, 10.0)

@@ -1,0 +1,139 @@
+"""NT dynamic priority boost/decay for normal-class threads."""
+
+import pytest
+
+from repro.kernel.kernel import Kernel
+from repro.kernel.objects import KEvent
+from repro.kernel.profile import OsProfile
+from repro.kernel.requests import Run, Wait
+from repro.hw.machine import Machine, MachineConfig
+
+BOOSTED = OsProfile(name="boosted", wait_boost=2)
+UNBOOSTED = OsProfile(name="unboosted", wait_boost=0)
+
+
+def make(profile):
+    machine = Machine(MachineConfig(), seed=7)
+    kernel = Kernel(machine, profile)
+    return machine, kernel
+
+
+class TestBoost:
+    def test_woken_io_thread_preempts_equal_base_cpu_hog(self):
+        """The classic interactive-responsiveness effect: an I/O-bound
+        thread at the same base priority preempts the CPU hog on wake."""
+        machine, kernel = make(BOOSTED)
+        event = KEvent(synchronization=True)
+        timeline = []
+
+        def hog(k, t):
+            while True:
+                yield Run(k.clock.ms_to_cycles(1.0))
+
+        def io_thread(k, t):
+            yield Wait(event)
+            timeline.append(("woke", k.engine.now))
+            yield Run(k.clock.ms_to_cycles(0.1))
+
+        kernel.create_thread("io", 8, io_thread)
+        machine.run_for_ms(0.5)  # io thread reaches its Wait and blocks
+        kernel.create_thread("hog", 8, hog)
+        machine.run_for_ms(2)
+        signalled = machine.engine.now
+        kernel.set_event(event)
+        machine.run_for_ms(5)
+        waited_ms = machine.clock.cycles_to_ms(timeline[0][1] - signalled)
+        # With the boost the wake preempts the hog within microseconds
+        # rather than waiting out the hog's 20 ms quantum.
+        assert waited_ms < 0.2
+
+    def test_no_boost_means_waiting_out_the_quantum(self):
+        machine, kernel = make(UNBOOSTED)
+        event = KEvent(synchronization=True)
+        timeline = []
+
+        def hog(k, t):
+            while True:
+                yield Run(k.clock.ms_to_cycles(1.0))
+
+        def io_thread(k, t):
+            yield Wait(event)
+            timeline.append(("woke", k.engine.now))
+            yield Run(k.clock.ms_to_cycles(0.1))
+
+        kernel.create_thread("io", 8, io_thread)
+        machine.run_for_ms(0.5)  # io thread reaches its Wait and blocks
+        kernel.create_thread("hog", 8, hog)
+        machine.run_for_ms(2)
+        signalled = machine.engine.now
+        kernel.set_event(event)
+        machine.run_for_ms(50)
+        waited_ms = machine.clock.cycles_to_ms(timeline[0][1] - signalled)
+        assert waited_ms > 5.0  # had to wait for the hog's quantum
+
+    def test_boost_never_reaches_realtime_class(self):
+        machine, kernel = make(OsProfile(name="big-boost", wait_boost=10))
+        event = KEvent(synchronization=True)
+        seen = []
+
+        def io_thread(k, t):
+            yield Wait(event)
+            seen.append(t.priority)
+
+        thread = kernel.create_thread("io", 14, io_thread)
+        machine.run_for_ms(1)
+        kernel.set_event(event)
+        machine.run_for_ms(1)
+        assert seen[0] <= 15
+        assert thread.base_priority == 14
+
+    def test_realtime_threads_never_boosted(self):
+        machine, kernel = make(BOOSTED)
+        event = KEvent(synchronization=True)
+        seen = []
+
+        def rt_thread(k, t):
+            yield Wait(event)
+            seen.append(t.priority)
+
+        kernel.create_thread("rt", 24, rt_thread)
+        machine.run_for_ms(1)
+        kernel.set_event(event)
+        machine.run_for_ms(1)
+        assert seen == [24]
+
+    def test_boost_decays_back_to_base(self):
+        machine, kernel = make(BOOSTED)
+        event = KEvent(synchronization=True)
+
+        def competitor(k, t):
+            while True:
+                yield Run(k.clock.ms_to_cycles(1.0))
+
+        def boosted(k, t):
+            yield Wait(event)
+            # Burn several quanta so the boost decays.
+            for _ in range(80):
+                yield Run(k.clock.ms_to_cycles(1.0))
+
+        thread = kernel.create_thread("boosted", 8, boosted)
+        machine.run_for_ms(0.5)  # reaches its Wait
+        kernel.create_thread("competitor", 8, competitor)
+        machine.run_for_ms(1)
+        kernel.set_event(event)
+        machine.run_for_ms(2)
+        assert thread.priority == 10  # boosted
+        machine.run_for_ms(150)  # several 20 ms quanta with a peer ready
+        assert thread.priority == 8  # decayed to base
+
+    def test_set_priority_updates_base(self):
+        machine, kernel = make(BOOSTED)
+
+        def body(k, t):
+            while True:
+                yield Run(1000)
+
+        thread = kernel.create_thread("t", 8, body)
+        kernel.set_thread_priority(thread, 12)
+        assert thread.base_priority == 12
+        assert thread.priority == 12

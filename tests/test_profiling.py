@@ -1,0 +1,183 @@
+"""The section 6.1 enhancements: NMI sampler, stack walking, call trees."""
+
+import pytest
+
+from repro.drivers.latency import LatencyToolConfig, WdmLatencyTool
+from repro.drivers.profiling import (
+    ProfilingCauseSampler,
+    StackSample,
+    build_call_tree,
+)
+from repro.hw.machine import Machine, MachineConfig
+from repro.kernel.boot import boot_os
+from repro.kernel.intrusions import (
+    IntrusionKind,
+    IntrusionSpec,
+    LoadProfile,
+    apply_load_profile,
+)
+from repro.kernel.requests import Run
+from repro.sim.rng import DurationDistribution, RngStream
+from tests.conftest import make_bare_kernel
+
+
+def build_profiled_run(cli_culprit=False, seed=61, duration_ms=4000, **sampler_kwargs):
+    machine = Machine(MachineConfig(), seed=seed)
+    os = boot_os(machine, "win98", baseline_load=False)
+    kind = IntrusionKind.CLI if cli_culprit else IntrusionKind.SECTION
+    profile = LoadProfile(
+        name="culprit",
+        intrusions=(
+            IntrusionSpec(
+                name="culprit",
+                kind=kind,
+                rate_hz=25.0,
+                duration=DurationDistribution.fixed(5.0),
+                module="VSHIELD",
+                function="_ScanFileBuffer",
+            ),
+        ),
+    )
+    apply_load_profile(
+        os.kernel, profile, RngStream(seed, "p"), section_executor=os.section_executor
+    )
+    tool = WdmLatencyTool(os, LatencyToolConfig())
+    sampler = ProfilingCauseSampler(tool, threshold_ms=2.0, **sampler_kwargs)
+    sampler.start()
+    tool.start()
+    machine.run_for_ms(duration_ms)
+    return machine, os, sampler
+
+
+class TestValidation:
+    def test_bad_rate(self):
+        machine = Machine(MachineConfig(), seed=1)
+        os = boot_os(machine, "nt4", baseline_load=False)
+        tool = WdmLatencyTool(os)
+        with pytest.raises(ValueError):
+            ProfilingCauseSampler(tool, sampling_hz=0.0)
+        with pytest.raises(ValueError):
+            ProfilingCauseSampler(tool, threshold_ms=-1.0)
+
+
+class TestSampling:
+    def test_sub_millisecond_resolution(self):
+        machine, os, sampler = build_profiled_run(duration_ms=500)
+        assert sampler.resolution_us() < 1000.0
+        # 20 kHz over 0.5 s ~ 10k samples.
+        assert sampler.samples_taken > 8000
+
+    def test_sees_inside_cli_regions(self):
+        """The decisive advantage over the PIT hook: NMIs fire while
+        interrupts are masked, so cli culprits are attributed."""
+        machine, os, sampler = build_profiled_run(cli_culprit=True)
+        leaves = {}
+        for episode in sampler.episodes:
+            for label, count in episode.leaf_counts().items():
+                leaves[label] = leaves.get(label, 0) + count
+        # 5 ms masked regions at 25/s: ~12% of samples land inside them.
+        assert leaves.get(("VSHIELD", "_ScanFileBuffer"), 0) > 0
+
+    def test_pit_hook_is_blind_to_cli_regions(self):
+        """Control: the 1 kHz PIT hook cannot sample during cli -- the
+        paper's stated motivation for moving to perf-counter NMIs."""
+        from repro.drivers.cause_tool import LatencyCauseTool
+
+        machine = Machine(MachineConfig(), seed=61)
+        os = boot_os(machine, "win98", baseline_load=False)
+        profile = LoadProfile(
+            name="culprit",
+            intrusions=(
+                IntrusionSpec(
+                    name="culprit",
+                    kind=IntrusionKind.CLI,
+                    rate_hz=25.0,
+                    duration=DurationDistribution.fixed(5.0),
+                    module="VSHIELD",
+                    function="_ScanFileBuffer",
+                ),
+            ),
+        )
+        apply_load_profile(
+            os.kernel, profile, RngStream(61, "p"), section_executor=os.section_executor
+        )
+        tool = WdmLatencyTool(os, LatencyToolConfig())
+        cause = LatencyCauseTool(tool, threshold_ms=2.0)
+        tool.start()
+        machine.run_for_ms(4000)
+        from repro.analysis.causes import summarize_episodes
+
+        summary = summarize_episodes(cause.episodes)
+        # The PIT tick is *delayed past* the masked region, so it lands on
+        # the code running after it; VSHIELD gets no direct samples.
+        assert summary.by_module.get("VSHIELD", 0) == 0
+
+    def test_episodes_capture_stacks(self):
+        machine, os, sampler = build_profiled_run()
+        assert sampler.episodes
+        episode = sampler.episodes[0]
+        assert episode.samples
+        for sample in episode.samples:
+            assert len(sample.stack) >= 1
+
+    def test_culprit_dominates_episode_samples(self):
+        machine, os, sampler = build_profiled_run()
+        episode = max(sampler.episodes, key=lambda e: len(e.samples))
+        counts = episode.leaf_counts()
+        assert counts.get(("VSHIELD", "_ScanFileBuffer"), 0) > len(episode.samples) * 0.4
+
+    def test_stop_halts_sampling(self):
+        machine, os, sampler = build_profiled_run(duration_ms=500)
+        count = sampler.samples_taken
+        sampler.stop()
+        machine.run_for_ms(500)
+        assert sampler.samples_taken == count
+
+    def test_report_format(self):
+        machine, os, sampler = build_profiled_run()
+        report = sampler.format_report(limit=1)
+        assert "Episode 0" in report
+        assert "NMI samples" in report
+
+
+class TestCallTrees:
+    def test_tree_aggregation(self):
+        stacks = [
+            ((("APP", "main")), ("VMM", "_a")),
+            ((("APP", "main")), ("VMM", "_a")),
+            ((("APP", "main")), ("VMM", "_b")),
+            ((("APP", "other")),),
+        ]
+        stacks = [tuple(s) for s in stacks]
+        root = build_call_tree(stacks)
+        assert root.samples == 4
+        main = root.children[("APP", "main")]
+        assert main.samples == 3
+        assert main.children[("VMM", "_a")].samples == 2
+        assert main.children[("VMM", "_b")].samples == 1
+
+    def test_tree_render_orders_by_weight(self):
+        stacks = [(("A", "f"),)] * 3 + [(("B", "g"),)]
+        root = build_call_tree(stacks)
+        text = root.format()
+        assert text.index("A!f") < text.index("B!g")
+
+    def test_nested_context_in_real_run(self):
+        """Episodes should show layered contexts (thread under DPC/ISR).
+
+        Clock ISR windows are only microseconds wide, so this samples at
+        200 kHz to catch them reliably."""
+        machine, os, sampler = build_profiled_run(sampling_hz=200_000.0)
+        deep = [
+            s
+            for e in sampler.episodes
+            for s in e.samples
+            if len(s.stack) >= 2
+        ]
+        assert deep  # at least some samples caught nesting
+
+
+class TestStackSample:
+    def test_leaf(self):
+        sample = StackSample(tsc=0, stack=(("APP", "main"), ("HAL", "_isr")))
+        assert sample.leaf == ("HAL", "_isr")

@@ -1,0 +1,185 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.histogram import LatencyHistogram
+from repro.core.stats import exceedance_fraction, percentile
+from repro.core.worst_case import WorstCaseEstimator
+from repro.analysis.tolerance import latency_tolerance_ms
+from repro.sim.clock import CpuClock
+from repro.sim.engine import Engine
+from repro.sim.rng import DurationDistribution, RngStream
+
+positive_floats = st.floats(min_value=1e-3, max_value=1e3, allow_nan=False)
+latency_lists = st.lists(
+    st.floats(min_value=1e-4, max_value=500.0, allow_nan=False), min_size=1, max_size=300
+)
+
+
+class TestEngineProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=100))
+    def test_events_fire_in_nondecreasing_time_order(self, times):
+        engine = Engine()
+        fired = []
+        for t in times:
+            engine.schedule_at(t, lambda t=t: fired.append(engine.now))
+        engine.run_until(10_001)
+        assert fired == sorted(fired)
+        assert len(fired) == len(times)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1000), min_size=2, max_size=50),
+        st.data(),
+    )
+    def test_cancellation_removes_exactly_the_cancelled(self, times, data):
+        engine = Engine()
+        fired = []
+        handles = [
+            engine.schedule_at(t, fired.append, i) for i, t in enumerate(times)
+        ]
+        to_cancel = data.draw(
+            st.sets(st.integers(min_value=0, max_value=len(times) - 1))
+        )
+        for i in to_cancel:
+            handles[i].cancel()
+        engine.run_until(1001)
+        assert sorted(fired) == sorted(set(range(len(times))) - to_cancel)
+
+
+class TestClockProperties:
+    @given(st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    def test_ms_round_trip_error_below_one_cycle(self, ms):
+        clock = CpuClock()
+        cycles = clock.ms_to_cycles(ms)
+        back = clock.cycles_to_ms(cycles)
+        assert abs(back - ms) <= clock.cycles_to_ms(1)
+
+    @given(st.integers(min_value=0, max_value=10**15))
+    def test_cycles_to_ms_monotone(self, cycles):
+        clock = CpuClock()
+        assert clock.cycles_to_ms(cycles + 1) >= clock.cycles_to_ms(cycles)
+
+
+class TestStatsProperties:
+    @given(latency_lists, st.floats(min_value=0.0, max_value=1.0))
+    def test_percentile_within_data_range(self, values, q):
+        data = sorted(values)
+        p = percentile(data, q)
+        assert data[0] - 1e-9 <= p <= data[-1] + 1e-9
+
+    @given(latency_lists)
+    def test_percentile_monotone_in_q(self, values):
+        data = sorted(values)
+        quantiles = [percentile(data, q / 10.0) for q in range(11)]
+        for a, b in zip(quantiles, quantiles[1:]):
+            assert b >= a - 1e-9 * max(1.0, abs(a))  # fp interpolation slack
+
+    @given(latency_lists, positive_floats)
+    def test_exceedance_in_unit_interval_and_antitone(self, values, threshold):
+        data = sorted(values)
+        p1 = exceedance_fraction(data, threshold)
+        p2 = exceedance_fraction(data, threshold * 2.0)
+        assert 0.0 <= p2 <= p1 <= 1.0
+
+
+class TestHistogramProperties:
+    @given(latency_lists)
+    def test_counts_conserved(self, values):
+        histogram = LatencyHistogram.from_values(values)
+        assert sum(histogram.counts) == len(values)
+        assert histogram.total == len(values)
+
+    @given(latency_lists)
+    def test_percent_sums_to_100(self, values):
+        histogram = LatencyHistogram.from_values(values)
+        total = sum(pct for _, pct in histogram.percent_in_buckets())
+        assert math.isclose(total, 100.0, rel_tol=1e-9)
+
+    @given(latency_lists, positive_floats)
+    def test_exceedance_antitone_in_threshold(self, values, threshold):
+        histogram = LatencyHistogram.from_values(values)
+        assert histogram.percent_exceeding(threshold * 2) <= histogram.percent_exceeding(
+            threshold
+        )
+
+
+class TestWorstCaseProperties:
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=1e-3, max_value=100.0, allow_nan=False),
+            min_size=10,
+            max_size=500,
+        ),
+        st.floats(min_value=0.1, max_value=1e4),
+    )
+    def test_expected_max_at_least_median_and_capped(self, values, horizon):
+        estimator = WorstCaseEstimator(values, duration_s=10.0, cap_ms=200.0)
+        estimate = estimator.expected_max(horizon)
+        assert estimate <= 200.0 + 1e-9
+        assert estimate >= min(values) - 1e-9
+
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=1e-3, max_value=100.0, allow_nan=False),
+            min_size=10,
+            max_size=200,
+        )
+    )
+    def test_expected_max_monotone_in_horizon(self, values):
+        estimator = WorstCaseEstimator(values, duration_s=10.0)
+        previous = 0.0
+        for horizon in (0.1, 1.0, 10.0, 100.0, 1000.0):
+            estimate = estimator.expected_max(horizon)
+            assert estimate >= previous - 1e-9
+            previous = estimate
+
+
+class TestRngProperties:
+    @settings(deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**31),
+        st.text(alphabet="abcdefgh/", min_size=1, max_size=12),
+    )
+    def test_streams_reproducible(self, seed, name):
+        a = RngStream(seed, name)
+        b = RngStream(seed, name)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    @settings(deadline=None)
+    @given(
+        st.floats(min_value=0.01, max_value=50.0),
+        st.floats(min_value=0.05, max_value=2.0),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_duration_samples_always_within_clamps(self, median, sigma, tail_prob, seed):
+        dist = DurationDistribution(
+            body_median_ms=median,
+            body_sigma=sigma,
+            tail_prob=tail_prob,
+            tail_scale_ms=median * 2,
+            tail_alpha=1.2,
+            min_ms=0.001,
+            max_ms=median * 100,
+        )
+        rng = RngStream(seed, "prop")
+        for _ in range(50):
+            value = dist.sample_ms(rng)
+            assert 0.001 <= value <= median * 100
+
+
+class TestToleranceProperties:
+    @given(st.integers(min_value=1, max_value=64), positive_floats)
+    def test_tolerance_monotone_in_buffers(self, n, t):
+        assert latency_tolerance_ms(n + 1, t) >= latency_tolerance_ms(n, t)
+
+    @given(st.integers(min_value=2, max_value=64), positive_floats)
+    def test_tolerance_scales_linearly_in_buffer_size(self, n, t):
+        assert math.isclose(
+            latency_tolerance_ms(n, 2 * t), 2 * latency_tolerance_ms(n, t), rel_tol=1e-9
+        )

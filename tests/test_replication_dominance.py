@@ -1,0 +1,120 @@
+"""Multi-seed replication and distribution-comparison statistics."""
+
+import pytest
+
+from repro.core.dominance import (
+    dominance_fraction,
+    format_ratio_profile,
+    ks_statistic,
+    quantile_ratio_profile,
+)
+from repro.core.experiment import ExperimentConfig, run_latency_experiment
+from repro.core.replication import replicate_experiment
+from repro.core.samples import LatencyKind
+from repro.sim.rng import RngStream
+
+
+class TestKsStatistic:
+    def test_identical_samples_zero(self):
+        data = [1.0, 2.0, 3.0]
+        assert ks_statistic(data, list(data)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_disjoint_samples_one(self):
+        assert ks_statistic([1.0, 2.0], [10.0, 20.0]) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        rng = RngStream(3, "ks")
+        a = [rng.lognormal(1.0, 0.5) for _ in range(500)]
+        b = [rng.lognormal(2.0, 0.5) for _ in range(400)]
+        assert ks_statistic(a, b) == pytest.approx(ks_statistic(b, a))
+
+    def test_range(self):
+        rng = RngStream(4, "ks2")
+        a = [rng.uniform(0, 1) for _ in range(300)]
+        b = [rng.uniform(0.5, 1.5) for _ in range(300)]
+        d = ks_statistic(a, b)
+        assert 0.0 < d < 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_statistic([], [1.0])
+
+
+class TestDominance:
+    def test_full_dominance(self):
+        better = [0.1, 0.2, 0.3]
+        worse = [1.0, 2.0, 3.0]
+        assert dominance_fraction(better, worse) == 1.0
+
+    def test_no_dominance(self):
+        assert dominance_fraction([10.0] * 5, [1.0] * 5) == 0.0
+
+    def test_ratio_profile(self):
+        profile = quantile_ratio_profile([10.0] * 100, [1.0] * 100)
+        assert all(ratio == pytest.approx(10.0) for _, ratio in profile)
+
+    def test_format(self):
+        text = format_ratio_profile([(0.5, 2.0), (0.99, 15.0)], label="98/NT")
+        assert "98/NT" in text and "15.0x" in text
+
+    def test_real_distributions_nt_dominates_win98(self):
+        """NT's thread-latency distribution stochastically dominates
+        Windows 98's under a game load -- the distributional form of the
+        paper's conclusion."""
+        sets = {}
+        for os_name in ("nt4", "win98"):
+            sets[os_name] = run_latency_experiment(
+                ExperimentConfig(os_name=os_name, workload="games",
+                                 duration_s=15.0, seed=91)
+            ).sample_set
+        nt = sets["nt4"].latencies_ms(LatencyKind.THREAD, priority=28)
+        w98 = sets["win98"].latencies_ms(LatencyKind.THREAD, priority=28)
+        assert dominance_fraction(nt, w98) > 0.95
+        profile = dict(quantile_ratio_profile(w98, nt))
+        assert profile[1.0] > 5.0  # the worst case is many times worse
+
+
+class TestReplication:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        return replicate_experiment(
+            ExperimentConfig(os_name="win98", workload="office", duration_s=6.0),
+            seeds=(1, 2, 3, 4),
+        )
+
+    def test_replicas_counted(self, campaign):
+        assert campaign.replicas == 4
+
+    def test_cells_cover_horizons(self, campaign):
+        for horizon in ("hour", "day", "week"):
+            cell = campaign.cell(LatencyKind.DPC_INTERRUPT, None, horizon)
+            assert cell is not None
+            assert len(cell.values_ms) == 4
+
+    def test_spread_brackets_median(self, campaign):
+        for cell in campaign.cells.values():
+            lo, hi = cell.spread
+            assert lo <= cell.median <= hi
+
+    def test_pooled_sample_set(self, campaign):
+        pooled = campaign.pooled_sample_set()
+        assert len(pooled) == sum(len(s) for s in campaign.sample_sets)
+        assert pooled.duration_s == pytest.approx(
+            sum(s.duration_s for s in campaign.sample_sets)
+        )
+
+    def test_hourly_cells_less_noisy_than_weekly(self, campaign):
+        """Interpolated cells should be steadier than extrapolated ones --
+        the quantitative version of EXPERIMENTS.md's caveat."""
+        hour = campaign.cell(LatencyKind.DPC_INTERRUPT, None, "hour")
+        week = campaign.cell(LatencyKind.DPC_INTERRUPT, None, "week")
+        assert hour.relative_spread <= week.relative_spread + 1.0
+
+    def test_format(self, campaign):
+        text = campaign.format()
+        assert "Replication of win98/office" in text
+        assert "noise" in text
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate_experiment(ExperimentConfig(), seeds=())

@@ -1,0 +1,162 @@
+"""The discrete-event engine: ordering, cancellation, determinism."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        fired = []
+        engine.schedule_at(30, fired.append, "c")
+        engine.schedule_at(10, fired.append, "a")
+        engine.schedule_at(20, fired.append, "b")
+        engine.run_until(100)
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_events_fire_in_insertion_order(self):
+        engine = Engine()
+        fired = []
+        for name in "abcde":
+            engine.schedule_at(50, fired.append, name)
+        engine.run_until(50)
+        assert fired == list("abcde")
+
+    def test_schedule_in_is_relative(self):
+        engine = Engine()
+        times = []
+        engine.schedule_in(10, lambda: times.append(engine.now))
+        engine.run_until(5)
+        assert times == []
+        engine.run_until(10)
+        assert times == [10]
+
+    def test_scheduling_in_past_rejected(self):
+        engine = Engine()
+        engine.schedule_at(10, lambda: None)
+        engine.run_until(10)
+        with pytest.raises(SimulationError):
+            engine.schedule_at(5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.schedule_in(-1, lambda: None)
+
+    def test_event_scheduled_at_current_time_fires(self):
+        engine = Engine()
+        fired = []
+
+        def outer():
+            engine.schedule_at(engine.now, fired.append, "inner")
+
+        engine.schedule_at(10, outer)
+        engine.run_until(10)
+        assert fired == ["inner"]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = Engine()
+        fired = []
+        handle = engine.schedule_at(10, fired.append, "x")
+        assert handle.cancel()
+        engine.run_until(100)
+        assert fired == []
+
+    def test_cancel_returns_false_after_fire(self):
+        engine = Engine()
+        handle = engine.schedule_at(10, lambda: None)
+        engine.run_until(10)
+        assert not handle.cancel()
+
+    def test_double_cancel_is_noop(self):
+        engine = Engine()
+        handle = engine.schedule_at(10, lambda: None)
+        assert handle.cancel()
+        assert not handle.cancel()
+
+    def test_pending_property(self):
+        engine = Engine()
+        handle = engine.schedule_at(10, lambda: None)
+        assert handle.pending
+        engine.run_until(10)
+        assert not handle.pending
+
+
+class TestRunControl:
+    def test_run_until_advances_clock_even_when_idle(self):
+        engine = Engine()
+        engine.run_until(1000)
+        assert engine.now == 1000
+
+    def test_run_until_backwards_rejected(self):
+        engine = Engine()
+        engine.run_until(100)
+        with pytest.raises(SimulationError):
+            engine.run_until(50)
+
+    def test_run_for(self):
+        engine = Engine()
+        engine.run_until(100)
+        engine.run_for(50)
+        assert engine.now == 150
+
+    def test_max_events_guard(self):
+        engine = Engine()
+
+        def reschedule():
+            engine.schedule_in(1, reschedule)
+
+        engine.schedule_in(1, reschedule)
+        with pytest.raises(SimulationError):
+            engine.run_until(10_000_000, max_events=100)
+
+    def test_events_processed_counter(self):
+        engine = Engine()
+        for i in range(5):
+            engine.schedule_at(i, lambda: None)
+        engine.run_until(10)
+        assert engine.events_processed == 5
+
+    def test_drain_runs_everything(self):
+        engine = Engine()
+        fired = []
+        engine.schedule_at(5, fired.append, 1)
+        engine.schedule_at(15, fired.append, 2)
+        engine.drain()
+        assert fired == [1, 2]
+        assert engine.now == 15
+
+    def test_peek_time_skips_cancelled(self):
+        engine = Engine()
+        h1 = engine.schedule_at(5, lambda: None)
+        engine.schedule_at(10, lambda: None)
+        h1.cancel()
+        assert engine.peek_time() == 10
+
+    def test_pending_count(self):
+        engine = Engine()
+        h1 = engine.schedule_at(5, lambda: None)
+        engine.schedule_at(10, lambda: None)
+        h1.cancel()
+        assert engine.pending_count == 1
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_traces(self):
+        def run():
+            engine = Engine()
+            log = []
+
+            def tick(n):
+                log.append((engine.now, n))
+                if n < 20:
+                    engine.schedule_in(3 + (n % 5), tick, n + 1)
+
+            engine.schedule_at(0, tick, 0)
+            engine.run_until(1000)
+            return log
+
+        assert run() == run()

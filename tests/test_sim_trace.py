@@ -1,0 +1,85 @@
+"""The structured trace log."""
+
+from repro.sim.clock import CpuClock
+from repro.sim.trace import TraceLog, TraceRecord
+
+import pytest
+
+
+class TestTraceLog:
+    def test_disabled_by_default_and_cheap(self):
+        log = TraceLog()
+        log.emit(10, "x", "hello")
+        assert len(log) == 0
+
+    def test_records_when_enabled(self):
+        log = TraceLog(enabled=True)
+        log.emit(10, "irq", "deliver pit", irql=28)
+        log.emit(20, "sched", "switch t")
+        assert len(log) == 2
+        record = log.records()[0]
+        assert record.time == 10
+        assert record.payload == {"irql": 28}
+
+    def test_category_filter(self):
+        log = TraceLog(enabled=True)
+        log.emit(1, "irq", "a")
+        log.emit(2, "sched", "b")
+        assert len(log.records("irq")) == 1
+        assert log.records("irq")[0].message == "a"
+
+    def test_capacity_drops_oldest(self):
+        log = TraceLog(enabled=True, capacity=10)
+        for i in range(25):
+            log.emit(i, "x", str(i))
+        assert len(log) <= 10
+        assert log.dropped > 0
+        # The newest record survives.
+        assert log.records()[-1].message == "24"
+
+    def test_clear(self):
+        log = TraceLog(enabled=True)
+        log.emit(1, "x", "a")
+        log.clear()
+        assert len(log) == 0
+        assert log.dropped == 0
+
+    def test_format_with_clock(self):
+        log = TraceLog(enabled=True)
+        log.emit(300_000, "irq", "tick")
+        text = log.format(clock=CpuClock())
+        assert "1.0000ms" in text
+        assert "[       irq]" in text or "irq" in text
+
+    def test_format_raw_cycles(self):
+        log = TraceLog(enabled=True)
+        log.emit(42, "x", "m", k="v")
+        text = log.format()
+        assert "42" in text and "k=v" in text
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            TraceLog(capacity=0)
+
+    def test_iteration(self):
+        log = TraceLog(enabled=True)
+        log.emit(1, "a", "x")
+        log.emit(2, "b", "y")
+        assert [r.category for r in log] == ["a", "b"]
+
+    def test_records_are_frozen(self):
+        record = TraceRecord(1, "x", "m")
+        with pytest.raises(AttributeError):
+            record.time = 2
+
+
+class TestKernelTracing:
+    def test_kernel_emits_when_machine_traced(self):
+        from repro.hw.machine import Machine, MachineConfig
+        from repro.kernel.boot import boot_os
+
+        machine = Machine(MachineConfig(pit_hz=1000.0, trace=True), seed=1)
+        boot_os(machine, "nt4", baseline_load=False)
+        machine.run_for_ms(20)
+        categories = {r.category for r in machine.trace}
+        assert "irq" in categories

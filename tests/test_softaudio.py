@@ -1,0 +1,109 @@
+"""Soft audio renderer: Table 1's RT-audio row meets section 4.3's story."""
+
+import pytest
+
+from repro.core.experiment import build_loaded_os
+from repro.drivers.softaudio import SoftAudioConfig, SoftAudioRenderer
+from repro.hw.machine import Machine, MachineConfig
+from repro.kernel.boot import boot_os
+from repro.workloads.perturbations import VIRUS_SCANNER
+
+
+def run_audio(os_name="win98", workload=None, extra=None, duration_ms=20_000,
+              seed=71, **cfg):
+    if workload is None:
+        machine = Machine(MachineConfig(), seed=seed)
+        os = boot_os(machine, os_name, baseline_load=False)
+    else:
+        os, _ = build_loaded_os(os_name, workload, seed=seed, extra_profile=extra)
+    renderer = SoftAudioRenderer(os, SoftAudioConfig(**cfg))
+    renderer.start()
+    os.machine.run_for_ms(duration_ms)
+    return renderer.report()
+
+
+class TestConfig:
+    def test_tolerance_matches_table1_model(self):
+        config = SoftAudioConfig(period_ms=16.0, n_buffers=4)
+        assert config.tolerance_ms == 48.0
+        config = SoftAudioConfig(period_ms=8.0, n_buffers=2)
+        assert config.tolerance_ms == 8.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SoftAudioConfig(period_ms=0.0)
+        with pytest.raises(ValueError):
+            SoftAudioConfig(n_buffers=1)
+        with pytest.raises(ValueError):
+            SoftAudioConfig(render_fraction=1.5)
+
+
+class TestQuietSystem:
+    def test_no_glitches_unloaded(self):
+        report = run_audio(duration_ms=10_000, period_ms=16.0, n_buffers=2)
+        assert report.glitches == 0
+        assert report.periods == pytest.approx(625, abs=3)
+
+    def test_lifecycle_guards(self):
+        machine = Machine(MachineConfig(), seed=1)
+        os = boot_os(machine, "win98", baseline_load=False)
+        renderer = SoftAudioRenderer(os)
+        with pytest.raises(RuntimeError):
+            renderer.report()
+        renderer.start()
+        with pytest.raises(RuntimeError):
+            renderer.start()
+
+
+class TestUnderLoad:
+    def test_kmixer_depth_survives_office_win98(self):
+        """Table 1's KMixer operating point (8 x 16 ms, 112 ms tolerance)
+        rides out the office workload."""
+        report = run_audio(
+            workload="office", duration_ms=30_000, period_ms=16.0, n_buffers=8
+        )
+        assert report.glitch_rate < 0.01
+
+    def test_double_buffering_struggles_under_games(self):
+        shallow = run_audio(
+            workload="games", duration_ms=30_000, period_ms=8.0, n_buffers=2
+        )
+        deep = run_audio(
+            workload="games", duration_ms=30_000, period_ms=8.0, n_buffers=6
+        )
+        assert deep.glitches <= shallow.glitches
+
+    def test_nt_audio_clean_under_games(self):
+        report = run_audio(
+            os_name="nt4", workload="games", duration_ms=30_000,
+            period_ms=16.0, n_buffers=4, thread_priority=28,
+        )
+        assert report.glitch_rate < 0.001
+
+
+class TestVirusScannerBreakup:
+    def test_scanner_causes_audio_breakup(self):
+        """Section 4.3: 'the virus scanner causes breakup of low latency
+        audio' -- quantified, office load, 16 ms period, 4 buffers."""
+        clean = run_audio(
+            workload="office", duration_ms=40_000, period_ms=16.0, n_buffers=4
+        )
+        scanned = run_audio(
+            workload="office", extra=VIRUS_SCANNER, duration_ms=40_000,
+            period_ms=16.0, n_buffers=4,
+        )
+        assert scanned.glitches > clean.glitches
+        assert scanned.glitch_rate > 0.0
+
+    def test_expected_glitch_cadence_order_of_magnitude(self):
+        """The paper predicts a glitch roughly every 16 s with the scanner
+        on for a 16 ms audio thread (1-in-1000 waits at 16 ms latency,
+        though with 48 ms of tolerance here the observable rate is lower).
+        We assert the weaker, robust form: with the scanner the time
+        between glitches is finite and far shorter than the clean run's."""
+        scanned = run_audio(
+            workload="office", extra=VIRUS_SCANNER, duration_ms=40_000,
+            period_ms=16.0, n_buffers=2,  # 16 ms tolerance, the paper's framing
+        )
+        assert scanned.seconds_between_glitches is not None
+        assert scanned.seconds_between_glitches < 40.0

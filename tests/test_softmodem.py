@@ -1,0 +1,113 @@
+"""Soft-modem datapump and deadline-miss monitor (sections 5.1 / 6.1)."""
+
+import pytest
+
+from repro.core.experiment import build_loaded_os
+from repro.drivers.softmodem import DatapumpConfig, SoftModemDatapump
+from repro.hw.machine import Machine, MachineConfig
+from repro.kernel.boot import boot_os
+
+
+def run_pump(os_name="nt4", workload=None, duration_ms=10_000, seed=41, **cfg):
+    if workload is None:
+        machine = Machine(MachineConfig(), seed=seed)
+        os = boot_os(machine, os_name, baseline_load=False)
+    else:
+        os, _ = build_loaded_os(os_name, workload, seed=seed)
+    pump = SoftModemDatapump(os, DatapumpConfig(**cfg))
+    pump.start()
+    os.machine.run_for_ms(duration_ms)
+    return pump.report()
+
+
+class TestConfig:
+    def test_derived_quantities(self):
+        config = DatapumpConfig(cycle_ms=8.0, n_buffers=3, cpu_fraction=0.25)
+        assert config.compute_ms == pytest.approx(2.0)
+        assert config.tolerance_ms == pytest.approx(16.0)
+        assert config.slack_ms == pytest.approx(14.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DatapumpConfig(cycle_ms=0.0)
+        with pytest.raises(ValueError):
+            DatapumpConfig(n_buffers=1)
+        with pytest.raises(ValueError):
+            DatapumpConfig(cpu_fraction=1.5)
+        with pytest.raises(ValueError):
+            DatapumpConfig(modality="fiber")
+
+
+class TestQuietSystem:
+    def test_dpc_pump_never_misses_unloaded(self):
+        report = run_pump(modality="dpc", cycle_ms=8.0, n_buffers=2)
+        assert report.misses == 0
+        assert report.buffers_completed > 1000
+        assert report.mean_time_to_failure_s is None
+
+    def test_thread_pump_never_misses_unloaded(self):
+        report = run_pump(modality="thread", cycle_ms=8.0, n_buffers=2)
+        assert report.misses == 0
+        assert report.buffers_completed > 1000
+
+    def test_arrival_rate_matches_cycle(self):
+        report = run_pump(modality="dpc", cycle_ms=4.0, n_buffers=2, duration_ms=4000)
+        assert report.buffers_arrived == pytest.approx(1000, abs=3)
+
+    def test_start_twice_rejected(self):
+        machine = Machine(MachineConfig(), seed=1)
+        os = boot_os(machine, "nt4", baseline_load=False)
+        pump = SoftModemDatapump(os)
+        pump.start()
+        with pytest.raises(RuntimeError):
+            pump.start()
+
+    def test_report_before_start_rejected(self):
+        machine = Machine(MachineConfig(), seed=1)
+        os = boot_os(machine, "nt4", baseline_load=False)
+        pump = SoftModemDatapump(os)
+        with pytest.raises(RuntimeError):
+            pump.report()
+
+
+class TestUnderLoad:
+    def test_more_buffering_means_fewer_misses(self):
+        misses = {}
+        for n in (2, 4):
+            report = run_pump(
+                os_name="win98", workload="games", duration_ms=30_000,
+                modality="dpc", cycle_ms=8.0, n_buffers=n,
+            )
+            misses[n] = report.misses
+        assert misses[4] <= misses[2]
+
+    def test_thread_pump_worse_than_dpc_pump_on_win98(self):
+        """Figure 6 vs Figure 7: the thread datapump misses far more."""
+        dpc = run_pump(
+            os_name="win98", workload="games", duration_ms=30_000,
+            modality="dpc", cycle_ms=8.0, n_buffers=3,
+        )
+        thread = run_pump(
+            os_name="win98", workload="games", duration_ms=30_000,
+            modality="thread", cycle_ms=8.0, n_buffers=3,
+        )
+        assert thread.misses > dpc.misses
+
+    def test_nt_pump_is_clean_even_under_load(self):
+        """Section 5.1: NT worst cases sit below the minimum modem slack,
+        so the paper forgoes the NT analysis entirely."""
+        report = run_pump(
+            os_name="nt4", workload="games", duration_ms=30_000,
+            modality="dpc", cycle_ms=8.0, n_buffers=3,
+        )
+        assert report.miss_rate < 0.001
+
+    def test_miss_rate_and_mttf_consistent(self):
+        report = run_pump(
+            os_name="win98", workload="games", duration_ms=30_000,
+            modality="thread", cycle_ms=8.0, n_buffers=2,
+        )
+        if report.misses > 0:
+            assert report.mean_time_to_failure_s == pytest.approx(
+                report.duration_s / report.misses
+            )

@@ -1,0 +1,50 @@
+"""Throughput macrobenchmark (section 4.2's control experiment)."""
+
+import pytest
+
+from repro.sim.rng import DurationDistribution
+from repro.workloads.throughput import (
+    ThroughputConfig,
+    compare_throughput,
+    run_throughput_benchmark,
+)
+
+FAST = ThroughputConfig(
+    units=80,
+    compute_ms=DurationDistribution(body_median_ms=2.0, body_sigma=0.4, max_ms=8.0),
+    io_ms=DurationDistribution(body_median_ms=1.5, body_sigma=0.4, max_ms=8.0),
+    timeout_s=60.0,
+)
+
+
+class TestSingleRun:
+    def test_batch_completes_and_scores(self):
+        score = run_throughput_benchmark("nt4", FAST)
+        assert score.units == 80
+        assert score.elapsed_s > 0
+        assert score.units_per_second > 1
+        assert score.winstone_style_score == pytest.approx(score.units_per_second * 10)
+
+    def test_timeout_raises(self):
+        config = ThroughputConfig(units=10_000, timeout_s=0.5)
+        with pytest.raises(RuntimeError):
+            run_throughput_benchmark("nt4", config)
+
+    def test_more_units_take_longer(self):
+        small = run_throughput_benchmark("win98", FAST)
+        from dataclasses import replace
+
+        big = run_throughput_benchmark("win98", replace(FAST, units=160))
+        assert big.elapsed_s > small.elapsed_s
+
+
+class TestComparison:
+    def test_scores_close_despite_latency_gulf(self):
+        """Section 4.2: average delta 10%, maximum 20%."""
+        comparison = compare_throughput(FAST)
+        assert comparison.delta_fraction < 0.20
+        assert "delta" in comparison.format()
+
+    def test_same_units_both_sides(self):
+        comparison = compare_throughput(FAST)
+        assert comparison.nt4.units == comparison.win98.units

@@ -1,0 +1,119 @@
+"""WDM surface: IRPs, driver objects, the I/O manager, ReadFileEx shim."""
+
+import pytest
+
+from repro.wdm.driver import DeviceObject, DriverObject, IoManager
+from repro.wdm.irp import Irp, IrpMajorFunction, IrpStatus
+from tests.conftest import make_bare_kernel
+
+
+class TestIrp:
+    def test_system_buffer_shape(self):
+        irp = Irp(IrpMajorFunction.READ, buffer_slots=3)
+        assert irp.AssociatedIrp.SystemBuffer == [0, 0, 0]
+        assert irp.system_buffer is irp.AssociatedIrp.SystemBuffer
+
+    def test_starts_pending(self):
+        irp = Irp(IrpMajorFunction.READ)
+        assert irp.status is IrpStatus.PENDING
+        assert not irp.completed
+
+    def test_unique_ids(self):
+        a = Irp(IrpMajorFunction.READ)
+        b = Irp(IrpMajorFunction.READ)
+        assert a.id != b.id
+
+    def test_negative_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            Irp(IrpMajorFunction.READ, buffer_slots=-1)
+
+
+class TestIoManager:
+    def build(self):
+        machine, kernel = make_bare_kernel()
+        io = IoManager(kernel)
+
+        calls = []
+
+        def driver_entry(kernel, driver):
+            def read_dispatch(kernel, device, irp):
+                calls.append(irp)
+                irp.system_buffer[0] = kernel.read_tsc()
+                io.complete_request(irp)
+
+            driver.set_dispatch(IrpMajorFunction.READ, read_dispatch)
+            DeviceObject(driver, r"\\.\Test")
+
+        io.load_driver("test", driver_entry)
+        return machine, kernel, io, calls
+
+    def test_load_driver_runs_driver_entry(self):
+        machine, kernel, io, calls = self.build()
+        assert io.device(r"\\.\Test").driver.name == "test"
+
+    def test_duplicate_driver_rejected(self):
+        machine, kernel, io, calls = self.build()
+        with pytest.raises(ValueError):
+            io.load_driver("test", lambda k, d: None)
+
+    def test_read_file_ex_dispatches_and_completes(self):
+        machine, kernel, io, calls = self.build()
+        completions = []
+        irp = io.read_file_ex(io.device(r"\\.\Test"), 2, completions.append)
+        assert calls == [irp]
+        assert completions == [irp]
+        assert irp.status is IrpStatus.SUCCESS
+        assert io.irps_dispatched == 1
+        assert io.irps_completed == 1
+
+    def test_unhandled_major_function_fails_irp(self):
+        machine, kernel, io, calls = self.build()
+        results = []
+        irp = Irp(IrpMajorFunction.WRITE, completion=results.append)
+        io.call_driver(io.device(r"\\.\Test"), irp)
+        assert irp.status is IrpStatus.INVALID_REQUEST
+        assert results == [irp]
+
+    def test_double_completion_rejected(self):
+        machine, kernel, io, calls = self.build()
+        irp = io.read_file_ex(io.device(r"\\.\Test"), 1, lambda i: None)
+        with pytest.raises(RuntimeError):
+            io.complete_request(irp)
+
+    def test_completion_records_time(self):
+        machine, kernel, io, calls = self.build()
+        machine.run_for_ms(3)
+        irp = io.read_file_ex(io.device(r"\\.\Test"), 1, lambda i: None)
+        assert irp.completed_at == machine.engine.now
+
+    def test_duplicate_device_name_rejected(self):
+        machine, kernel, io, calls = self.build()
+
+        def entry(kernel, driver):
+            DeviceObject(driver, r"\\.\Test")  # clashes
+
+        with pytest.raises(ValueError):
+            io.load_driver("other", entry)
+
+
+class TestBinaryPortability:
+    """The same driver object loads on both OS personalities unchanged."""
+
+    def test_same_driver_entry_on_both_kernels(self):
+        from repro.hw.machine import Machine, MachineConfig
+        from repro.kernel.boot import boot_os
+
+        def driver_entry(kernel, driver):
+            def read_dispatch(kernel, device, irp):
+                irp.system_buffer[0] = kernel.read_tsc()
+
+            driver.set_dispatch(IrpMajorFunction.READ, read_dispatch)
+            DeviceObject(driver, r"\\.\Portable")
+
+        for os_name in ("nt4", "win98"):
+            machine = Machine(MachineConfig(), seed=1)
+            os = boot_os(machine, os_name, baseline_load=False)
+            io = IoManager(os.kernel)
+            io.load_driver("portable", driver_entry)
+            irp = io.read_file_ex(io.device(r"\\.\Portable"), 1, lambda i: None)
+            assert irp.system_buffer[0] == os.kernel.read_tsc()

@@ -1,0 +1,75 @@
+"""The Windows 2000 beta personality (section 6.1 extension)."""
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig, run_latency_experiment
+from repro.core.samples import LatencyKind
+from repro.hw.machine import Machine, MachineConfig
+from repro.kernel.boot import OS_NAMES, boot_os
+from repro.kernel.nt4 import NT4_PROFILE
+from repro.kernel.win2k import WIN2K_PROFILE
+from repro.workloads.base import get_workload
+
+
+class TestPersonality:
+    def test_registered(self):
+        assert "win2k" in OS_NAMES
+
+    def test_boots(self):
+        machine = Machine(MachineConfig(), seed=3)
+        os = boot_os(machine, "win2k")
+        machine.run_for_ms(100)
+        assert os.kernel.stats.interrupts_delivered > 5
+
+    def test_nt_derived_structure(self):
+        machine = Machine(MachineConfig(), seed=3)
+        os = boot_os(machine, "win2k", baseline_load=False)
+        assert os.work_items is not None  # work-item queue like NT
+        assert os.work_items.thread.priority == 24
+
+    def test_improved_fixed_costs(self):
+        assert WIN2K_PROFILE.context_switch_us < NT4_PROFILE.context_switch_us
+        assert WIN2K_PROFILE.dpc_dispatch_us < NT4_PROFILE.dpc_dispatch_us
+
+    def test_workload_profiles_fall_back_to_nt4(self):
+        for name in ("office", "workstation", "games", "web"):
+            workload = get_workload(name)
+            assert workload.profile_for("win2k") is workload.profile_for("nt4")
+
+
+class TestLatencyBehaviour:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        results = {}
+        for os_name in ("nt4", "win2k"):
+            results[os_name] = run_latency_experiment(
+                ExperimentConfig(
+                    os_name=os_name, workload="games", duration_s=20.0, seed=1999
+                )
+            ).sample_set
+        return results
+
+    def test_win2k_no_worse_than_nt4_on_dpc_path(self, pair):
+        nt4 = sorted(pair["nt4"].latencies_ms(LatencyKind.DPC_INTERRUPT))
+        w2k = sorted(pair["win2k"].latencies_ms(LatencyKind.DPC_INTERRUPT))
+        # Medians: the cheaper dispatch path should show through the
+        # quantisation floor at least weakly.
+        assert w2k[len(w2k) // 2] <= nt4[len(nt4) // 2] * 1.1
+
+    def test_win2k_keeps_the_priority24_penalty(self, pair):
+        """The work-item design did not change: priority 24 still loses."""
+        w2k = pair["win2k"]
+        p24 = max(w2k.latencies_ms(LatencyKind.THREAD, priority=24))
+        p28 = max(w2k.latencies_ms(LatencyKind.THREAD, priority=28))
+        assert p24 > 3.0 * p28
+
+    def test_win2k_far_better_than_win98(self):
+        w98 = run_latency_experiment(
+            ExperimentConfig(os_name="win98", workload="games", duration_s=20.0, seed=1999)
+        ).sample_set
+        w2k = run_latency_experiment(
+            ExperimentConfig(os_name="win2k", workload="games", duration_s=20.0, seed=1999)
+        ).sample_set
+        assert max(w98.latencies_ms(LatencyKind.THREAD, priority=28)) > 5.0 * max(
+            w2k.latencies_ms(LatencyKind.THREAD, priority=28)
+        )

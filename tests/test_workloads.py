@@ -1,0 +1,128 @@
+"""Workload registry and profile sanity."""
+
+import pytest
+
+from repro.kernel.intrusions import IntrusionKind
+from repro.workloads.base import Workload, get_workload, register_workload, workload_names
+from repro.workloads.perturbations import DEFAULT_SOUND_SCHEME, VIRUS_SCANNER
+
+
+class TestRegistry:
+    def test_paper_workloads_registered(self):
+        names = workload_names()
+        for name in ("office", "workstation", "games", "web", "idle"):
+            assert name in names
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("quake3")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_workload(Workload(name="office", description="", profiles={}))
+
+    def test_profiles_exist_for_both_oses(self):
+        for name in ("office", "workstation", "games", "web", "idle"):
+            workload = get_workload(name)
+            for os_name in ("nt4", "win98"):
+                profile = workload.profile_for(os_name)
+                assert profile.name
+
+    def test_missing_os_profile_raises(self):
+        workload = get_workload("office")
+        with pytest.raises(KeyError):
+            workload.profile_for("beos")
+
+
+class TestProfileShape:
+    """Structural invariants the calibration relies on."""
+
+    def test_win98_profiles_have_vmm_sections(self):
+        for name in ("office", "workstation", "games", "web"):
+            profile = get_workload(name).profile_for("win98")
+            kinds = {spec.kind for spec in profile.intrusions}
+            assert IntrusionKind.SECTION in kinds, f"{name} lacks VMM sections"
+            assert IntrusionKind.CLI in kinds, f"{name} lacks masked regions"
+
+    def test_nt4_profiles_have_work_items(self):
+        """The priority-24 interference mechanism must exist on NT."""
+        for name in ("office", "workstation", "games", "web"):
+            profile = get_workload(name).profile_for("nt4")
+            assert profile.work_items is not None
+
+    def test_win98_profiles_have_no_work_items(self):
+        for name in ("office", "workstation", "games", "web"):
+            assert get_workload(name).profile_for("win98").work_items is None
+
+    def test_win98_legacy_sections_longer_than_nt(self):
+        """The core OS asymmetry: legacy sections are ms-scale on 98,
+        microsecond-scale on NT."""
+        for name in ("office", "workstation", "games", "web"):
+            win98 = get_workload(name).profile_for("win98")
+            nt4 = get_workload(name).profile_for("nt4")
+
+            def worst_section(profile):
+                return max(
+                    (s.duration.max_ms for s in profile.intrusions
+                     if s.kind is IntrusionKind.SECTION),
+                    default=0.0,
+                )
+
+            assert worst_section(win98) >= 10 * worst_section(nt4), name
+
+    def test_win98_cli_windows_longer_than_nt(self):
+        for name in ("office", "workstation", "games", "web"):
+            win98 = get_workload(name).profile_for("win98")
+            nt4 = get_workload(name).profile_for("nt4")
+
+            def worst_cli(profile):
+                return max(
+                    (s.duration.max_ms for s in profile.intrusions
+                     if s.kind is IntrusionKind.CLI),
+                    default=0.0,
+                )
+
+            assert worst_cli(win98) > worst_cli(nt4), name
+
+    def test_games_is_the_harshest_win98_workload(self):
+        """Table 3's cross-workload ordering for ISR latency."""
+
+        def worst_cli(name):
+            profile = get_workload(name).profile_for("win98")
+            return max(
+                s.duration.max_ms for s in profile.intrusions
+                if s.kind is IntrusionKind.CLI
+            )
+
+        games = worst_cli("games")
+        for other in ("office", "workstation", "web"):
+            assert games > worst_cli(other)
+
+    def test_workload_descriptions_present(self):
+        for name in workload_names():
+            assert get_workload(name).description != "" or name == "idle"
+
+    def test_idle_profiles_empty(self):
+        for os_name in ("nt4", "win98"):
+            profile = get_workload("idle").profile_for(os_name)
+            assert not profile.intrusions
+            assert not profile.devices
+
+
+class TestPerturbations:
+    def test_virus_scanner_is_section_heavy(self):
+        kinds = {spec.kind for spec in VIRUS_SCANNER.intrusions}
+        assert IntrusionKind.SECTION in kinds
+
+    def test_sound_scheme_names_paper_modules(self):
+        modules = {spec.module for spec in DEFAULT_SOUND_SCHEME.intrusions}
+        assert "SYSAUDIO" in modules
+        assert "KMIXER" in modules
+
+    def test_merge_with_office(self):
+        office = get_workload("office").profile_for("win98")
+        merged = office.merged_with(VIRUS_SCANNER)
+        assert len(merged.intrusions) == len(office.intrusions) + len(
+            VIRUS_SCANNER.intrusions
+        )
+        assert merged.app_threads == office.app_threads

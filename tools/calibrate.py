@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Calibration helper: measured vs Table 3 target worst cases.
+
+Runs the OS x workload matrix and prints, for each latency row, the
+measured hourly/daily/weekly worst case next to the paper's target.  Used
+while tuning the workload profiles in src/repro/workloads/.
+
+Usage: python tools/calibrate.py [duration_s] [os ...] [workload ...]
+"""
+
+import sys
+import time
+
+from repro.core.experiment import ExperimentConfig, run_latency_experiment
+from repro.core.samples import LatencyKind
+from repro.core.worst_case import WorstCaseTable
+
+# Table 3 (win98) and Figure 4 / section 4.2 (nt4) targets:
+# (kind, priority) -> (max/hr, max/day, max/wk) in ms.
+TARGETS = {
+    ("win98", "office"): {
+        (LatencyKind.ISR, None): (1.0, 1.4, 1.6),
+        (LatencyKind.DPC_INTERRUPT, None): (1.0, 1.5, 2.0),
+        (LatencyKind.THREAD, 28): (1.6, 5.2, 31.0),
+        (LatencyKind.THREAD, 24): (3.1, 6.7, 31.0),
+    },
+    ("win98", "workstation"): {
+        (LatencyKind.ISR, None): (2.2, 5.6, 6.3),
+        (LatencyKind.DPC_INTERRUPT, None): (2.7, 6.1, 6.9),
+        (LatencyKind.THREAD, 28): (21.0, 24.0, 24.0),
+        (LatencyKind.THREAD, 24): (21.0, 23.0, 24.0),
+    },
+    ("win98", "games"): {
+        (LatencyKind.ISR, None): (8.8, 9.7, 12.2),
+        (LatencyKind.DPC_INTERRUPT, None): (9.7, 12.0, 14.0),
+        (LatencyKind.THREAD, 28): (35.0, 46.0, 70.0),
+        (LatencyKind.THREAD, 24): (36.0, 47.0, 70.0),
+    },
+    ("win98", "web"): {
+        (LatencyKind.ISR, None): (1.1, 1.7, 3.5),
+        (LatencyKind.DPC_INTERRUPT, None): (1.3, 2.0, 3.8),
+        (LatencyKind.THREAD, 28): (14.0, 68.0, 80.0),
+        (LatencyKind.THREAD, 24): (51.0, 68.0, 80.0),
+    },
+    # NT 4.0: "worst case latencies uniformly below 3 ms" for DPC/high-RT;
+    # priority 24 an order of magnitude worse (work-item thread).
+    ("nt4", "office"): {
+        (LatencyKind.DPC_INTERRUPT, None): (1.3, 1.6, 2.0),
+        (LatencyKind.THREAD, 28): (0.3, 0.6, 1.0),
+        (LatencyKind.THREAD, 24): (4.0, 8.0, 16.0),
+    },
+    ("nt4", "workstation"): {
+        (LatencyKind.DPC_INTERRUPT, None): (1.5, 2.0, 2.5),
+        (LatencyKind.THREAD, 28): (0.5, 1.0, 1.6),
+        (LatencyKind.THREAD, 24): (8.0, 14.0, 20.0),
+    },
+    ("nt4", "games"): {
+        (LatencyKind.DPC_INTERRUPT, None): (1.8, 2.3, 2.9),
+        (LatencyKind.THREAD, 28): (0.6, 1.2, 2.0),
+        (LatencyKind.THREAD, 24): (10.0, 16.0, 24.0),
+    },
+    ("nt4", "web"): {
+        (LatencyKind.DPC_INTERRUPT, None): (1.4, 1.8, 2.2),
+        (LatencyKind.THREAD, 28): (0.4, 0.8, 1.4),
+        (LatencyKind.THREAD, 24): (6.0, 12.0, 20.0),
+    },
+}
+
+
+def main():
+    args = sys.argv[1:]
+    duration = float(args[0]) if args and args[0].replace(".", "").isdigit() else 120.0
+    rest = args[1:] if args and args[0].replace(".", "").isdigit() else args
+    oses = [a for a in rest if a in ("nt4", "win98")] or ["win98", "nt4"]
+    loads = [a for a in rest if a in ("office", "workstation", "games", "web")] or [
+        "office", "workstation", "games", "web"]
+    for os_name in oses:
+        for workload in loads:
+            t0 = time.time()
+            result = run_latency_experiment(
+                ExperimentConfig(os_name=os_name, workload=workload,
+                                 duration_s=duration, seed=1999)
+            )
+            table = WorstCaseTable(result.sample_set)
+            print(f"\n=== {os_name}/{workload}  ({time.time()-t0:.0f}s wall, "
+                  f"{len(result.sample_set)} samples) ===")
+            targets = TARGETS.get((os_name, workload), {})
+            for row in table.rows:
+                target = targets.get((row.kind, row.priority))
+                tstr = (f"target {target[0]:7.1f} {target[1]:7.1f} {target[2]:7.1f}"
+                        if target else "")
+                print(f"{row.label:46s} {row.max_per_hour_ms:7.2f} {row.max_per_day_ms:7.2f} "
+                      f"{row.max_per_week_ms:7.2f}   {tstr} (obs {row.observed_max_ms:.2f})")
+
+
+if __name__ == "__main__":
+    main()

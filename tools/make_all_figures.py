@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Regenerate every paper table/figure without pytest.
+
+One-shot driver for users who just want the artefacts:
+
+    python tools/make_all_figures.py [duration_s] [output_dir]
+
+Writes the same files as ``pytest benchmarks/`` into ``output_dir``
+(default ``benchmarks/results``).  Duration is simulated seconds per
+experiment cell (default 120; 600 for publication-quality tails).
+"""
+
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis.charts import mttf_chart
+from repro.analysis.mttf import mttf_curve
+from repro.analysis.tolerance import format_table1
+from repro.core.experiment import ExperimentConfig, run_latency_experiment
+from repro.core.report import compare_sample_sets, format_figure4_panel
+from repro.core.samples import LatencyKind
+from repro.core.worst_case import WorstCaseTable
+from repro.workloads.perturbations import VIRUS_SCANNER
+from repro.core.histogram import LatencyHistogram
+
+WORKLOADS = ("office", "workstation", "games", "web")
+
+
+def main() -> int:
+    duration = float(sys.argv[1]) if len(sys.argv) > 1 else 120.0
+    out_dir = Path(sys.argv[2]) if len(sys.argv) > 2 else Path("benchmarks/results")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    seed = 1999
+
+    def save(name, content):
+        (out_dir / name).write_text(content + "\n")
+        print(f"wrote {out_dir / name}")
+
+    save("table1_latency_tolerances.txt", format_table1())
+
+    print(f"running the OS x workload matrix ({duration:.0f}s per cell)...")
+    matrix = {}
+    for os_name in ("nt4", "win98"):
+        for workload in WORKLOADS:
+            t0 = time.time()
+            matrix[(os_name, workload)] = run_latency_experiment(
+                ExperimentConfig(os_name=os_name, workload=workload,
+                                 duration_s=duration, seed=seed)
+            ).sample_set
+            print(f"  {os_name}/{workload}: {time.time() - t0:.0f}s wall")
+
+    # Figure 4.
+    panels = []
+    for os_name, kind, priority in (
+        ("nt4", LatencyKind.DPC_INTERRUPT, None),
+        ("win98", LatencyKind.DPC_INTERRUPT, None),
+        ("nt4", LatencyKind.THREAD, 28),
+        ("win98", LatencyKind.THREAD, 28),
+        ("nt4", LatencyKind.THREAD, 24),
+        ("win98", LatencyKind.THREAD, 24),
+    ):
+        for workload in WORKLOADS:
+            panels.append(format_figure4_panel(matrix[(os_name, workload)], kind, priority))
+            panels.append("")
+    save("figure4_latency_distributions.txt", "\n".join(panels))
+
+    # Table 3.
+    save(
+        "table3_win98_worst_case.txt",
+        "\n\n".join(WorstCaseTable(matrix[("win98", w)]).format() for w in WORKLOADS),
+    )
+
+    # Figure 5.
+    scanned = run_latency_experiment(
+        ExperimentConfig(os_name="win98", workload="office", duration_s=duration,
+                         seed=seed, extra_profile=VIRUS_SCANNER)
+    ).sample_set
+    base24 = LatencyHistogram.from_values(
+        matrix[("win98", "office")].latencies_ms(LatencyKind.THREAD, priority=24))
+    scan24 = LatencyHistogram.from_values(
+        scanned.latencies_ms(LatencyKind.THREAD, priority=24))
+    save("figure5_virus_scanner.txt",
+         base24.render("no virus scanner") + "\n\n" + scan24.render("with virus scanner"))
+
+    # Figures 6 and 7.
+    for name, kind, priority in (
+        ("figure6_softmodem_dpc_mttf.txt", LatencyKind.DPC_INTERRUPT, None),
+        ("figure7_softmodem_thread_mttf.txt", LatencyKind.THREAD_INTERRUPT, 28),
+    ):
+        curves = {
+            w: mttf_curve(matrix[("win98", w)].latencies_ms(kind, priority=priority),
+                          compute_ms=2.0)
+            for w in WORKLOADS
+        }
+        rows = []
+        for w in WORKLOADS:
+            rows.append(f"-- {w} --")
+            rows.extend(p.format() for p in curves[w])
+        save(name, "\n".join(rows) + "\n\n" + mttf_chart(curves))
+
+    # Section 4 ratios.
+    save(
+        "section4_comparison.txt",
+        "\n\n".join(
+            compare_sample_sets(matrix[("nt4", w)], matrix[("win98", w)]).format()
+            for w in WORKLOADS
+        ),
+    )
+    print("done.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
