@@ -9,6 +9,10 @@ matrix).
 
 Regenerated tables/figures are printed to stdout (run with ``-s`` to see
 them) and written under ``benchmarks/results/``.
+
+The matrix goes through the campaign runner, so ``REPRO_BENCH_JOBS``
+fans the cells across worker processes and ``REPRO_BENCH_CACHE_DIR``
+memoizes them across sessions; neither changes the resulting bytes.
 """
 
 import os
@@ -16,7 +20,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.core.experiment import ExperimentConfig, run_latency_experiment
+from repro.core.campaign import run_sample_matrix
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -32,21 +36,21 @@ def bench_seed() -> int:
     return int(os.environ.get("REPRO_BENCH_SEED", "1999"))
 
 
+def bench_jobs() -> int:
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
 @pytest.fixture(scope="session")
 def matrix():
     """SampleSet for every (os, workload) cell, computed once."""
-    duration = bench_duration_s()
-    seed = bench_seed()
-    results = {}
-    for os_name in OS_NAMES:
-        for workload in WORKLOADS:
-            result = run_latency_experiment(
-                ExperimentConfig(
-                    os_name=os_name, workload=workload, duration_s=duration, seed=seed
-                )
-            )
-            results[(os_name, workload)] = result.sample_set
-    return results
+    return run_sample_matrix(
+        os_names=OS_NAMES,
+        workloads=WORKLOADS,
+        duration_s=bench_duration_s(),
+        seed=bench_seed(),
+        jobs=bench_jobs(),
+        cache_dir=os.environ.get("REPRO_BENCH_CACHE_DIR"),
+    )
 
 
 def write_result(name: str, content: str) -> Path:

@@ -1,0 +1,80 @@
+"""Campaign-runner performance: parallel fan-out and cache replay.
+
+Two go-faster claims, each measured against the serial cold path:
+
+* ``jobs=4`` beats serial by >=1.5x wall-clock on an 8-cell campaign
+  (needs real CPUs -- skipped on single-CPU runners);
+* replaying a campaign from the content-addressed cache is >=10x faster
+  than simulating it cold (measurable anywhere).
+
+Cells are deliberately short: the speedup ratios are what matter, and
+they are duration-independent because every cell does identical work.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core.campaign import run_campaign
+from repro.core.experiment import ExperimentConfig
+
+from .test_sim_performance import record_measurement
+
+#: Long enough that process spawn overhead (~100 ms/worker) is small
+#: against per-cell simulation time, short enough for a CI smoke job.
+CELL_DURATION_S = 4.0
+
+
+def _eight_cells():
+    return [
+        ExperimentConfig(os_name=os_name, workload=workload,
+                         duration_s=CELL_DURATION_S, seed=1999)
+        for os_name in ("nt4", "win98")
+        for workload in ("office", "workstation", "games", "web")
+    ]
+
+
+def _wall(fn):
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="parallel speedup needs >=2 CPUs",
+)
+def test_parallel_campaign_speedup():
+    configs = _eight_cells()
+    serial = _wall(lambda: run_campaign(configs, jobs=1))
+    parallel = _wall(lambda: run_campaign(configs, jobs=4))
+    speedup = serial / parallel
+    record_measurement(
+        "campaign_parallel_8cells",
+        serial_wall_s=serial,
+        jobs4_wall_s=parallel,
+        speedup=round(speedup, 2),
+        cpus=os.cpu_count(),
+    )
+    assert speedup >= 1.5, (
+        f"jobs=4 only {speedup:.2f}x faster than serial "
+        f"({parallel:.1f}s vs {serial:.1f}s)"
+    )
+
+
+def test_cache_replay_speedup(tmp_path):
+    configs = _eight_cells()
+    cold = _wall(lambda: run_campaign(configs, jobs=1, cache_dir=tmp_path))
+    warm = _wall(lambda: run_campaign(configs, jobs=1, cache_dir=tmp_path))
+    speedup = cold / warm
+    record_measurement(
+        "campaign_cache_replay_8cells",
+        cold_wall_s=cold,
+        warm_wall_s=warm,
+        speedup=round(speedup, 1),
+    )
+    assert speedup >= 10.0, (
+        f"cache replay only {speedup:.1f}x faster than cold "
+        f"({warm:.2f}s vs {cold:.2f}s)"
+    )

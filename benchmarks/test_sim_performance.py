@@ -3,12 +3,34 @@
 These are the only benchmarks here about *our* code's speed rather than
 the paper's results: events/second through the engine and simulated-seconds
 per wall-second for a loaded kernel.
+
+Each test also records its headline number into ``BENCH_sim.json`` at the
+repo root, next to the frozen pre-optimization baselines, so speedups are
+tracked in-tree (CI uploads the file as an artifact).
 """
+
+import json
+from pathlib import Path
 
 from repro.core.experiment import build_loaded_os
 from repro.hw.machine import Machine, MachineConfig
 from repro.kernel.boot import boot_os
 from repro.sim.engine import Engine
+
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
+
+
+def record_measurement(name: str, **fields) -> None:
+    """Merge one measurement into BENCH_sim.json (baselines untouched)."""
+    payload = {}
+    if BENCH_FILE.exists():
+        try:
+            payload = json.loads(BENCH_FILE.read_text())
+        except json.JSONDecodeError:
+            payload = {}
+    measured = payload.setdefault("measured", {})
+    measured[name] = fields
+    BENCH_FILE.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 def test_engine_event_throughput(benchmark):
@@ -26,6 +48,12 @@ def test_engine_event_throughput(benchmark):
         return count[0]
 
     assert benchmark(run_10k_events) == 10_000
+    events_per_sec = 10_000 / benchmark.stats.stats.min
+    record_measurement(
+        "engine_event_throughput",
+        events_per_sec=round(events_per_sec),
+        seconds_per_10k_events=benchmark.stats.stats.min,
+    )
 
 
 def test_idle_kernel_simulation_rate(benchmark):
@@ -37,6 +65,10 @@ def test_idle_kernel_simulation_rate(benchmark):
 
     events = benchmark(one_second_idle)
     assert events > 1000
+    record_measurement(
+        "idle_kernel_simulation_rate",
+        wall_s_per_simulated_s=benchmark.stats.stats.min,
+    )
 
 
 def test_loaded_win98_simulation_rate(benchmark):
@@ -47,3 +79,7 @@ def test_loaded_win98_simulation_rate(benchmark):
 
     interrupts = benchmark.pedantic(one_second_loaded, rounds=3, iterations=1)
     assert interrupts > 500
+    record_measurement(
+        "loaded_win98_simulation_rate",
+        wall_s_per_simulated_s=benchmark.stats.stats.min,
+    )

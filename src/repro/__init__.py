@@ -35,6 +35,14 @@ from repro.analysis.schedulability import (
     response_time_analysis,
 )
 from repro.analysis.tolerance import APPLICATION_TOLERANCES, latency_tolerance_ms
+from repro.core.campaign import (
+    CampaignCache,
+    CampaignReport,
+    cache_key,
+    config_fingerprint,
+    run_campaign,
+    run_sample_matrix,
+)
 from repro.core.dominance import dominance_fraction, ks_statistic, quantile_ratio_profile
 from repro.core.experiment import (
     ExperimentConfig,
@@ -77,6 +85,8 @@ __all__ = [
     "APPLICATION_TOLERANCES",
     "DEFAULT_SOUND_SCHEME",
     "DEFAULT_TIME_COMPRESSION",
+    "CampaignCache",
+    "CampaignReport",
     "DatapumpConfig",
     "ExperimentConfig",
     "ExperimentResult",
@@ -107,8 +117,10 @@ __all__ = [
     "WorstCaseTable",
     "boot_os",
     "build_loaded_os",
+    "cache_key",
     "compare_sample_sets",
     "compare_throughput",
+    "config_fingerprint",
     "dominance_fraction",
     "get_workload",
     "is_schedulable",
@@ -121,8 +133,10 @@ __all__ = [
     "quantile_ratio_profile",
     "replicate_experiment",
     "response_time_analysis",
+    "run_campaign",
     "run_latency_experiment",
     "run_matrix",
+    "run_sample_matrix",
     "sample_set_from_csv",
     "sample_set_from_json",
     "sample_set_to_csv",

@@ -20,6 +20,7 @@ import sys
 
 from repro.analysis.causes import summarize_episodes
 from repro.analysis.mttf import mttf_curve
+from repro.core.campaign import run_campaign
 from repro.core.experiment import ExperimentConfig, build_loaded_os, run_latency_experiment
 from repro.core.report import compare_sample_sets, format_figure4_panel
 from repro.core.samples import LatencyKind
@@ -54,16 +55,22 @@ def cmd_measure(args) -> int:
 
 
 def cmd_compare(args) -> int:
-    sets = {}
-    for os_name in ("nt4", "win98"):
-        print(f"measuring {os_name}...", file=sys.stderr)
-        sets[os_name] = run_latency_experiment(
-            ExperimentConfig(
-                os_name=os_name, workload=args.workload,
-                duration_s=args.duration, seed=args.seed,
-            )
-        ).sample_set
-    print(compare_sample_sets(sets["nt4"], sets["win98"]).format())
+    configs = [
+        ExperimentConfig(
+            os_name=os_name, workload=args.workload,
+            duration_s=args.duration, seed=args.seed,
+        )
+        for os_name in ("nt4", "win98")
+    ]
+    print(f"measuring nt4 + win98 (jobs={args.jobs})...", file=sys.stderr)
+    report = run_campaign(configs, jobs=args.jobs, cache_dir=args.cache_dir)
+    if args.cache_dir:
+        print(
+            f"cache: {report.cache_hits} hit(s), {report.cache_misses} miss(es)",
+            file=sys.stderr,
+        )
+    nt4, win98 = report.sample_sets
+    print(compare_sample_sets(nt4, win98).format())
     return 0
 
 
@@ -114,6 +121,10 @@ def main(argv=None) -> int:
 
     p = sub.add_parser("compare", help="NT 4.0 vs Windows 98")
     _add_common(p)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for independent cells")
+    p.add_argument("--cache-dir", default=None,
+                   help="content-addressed result cache directory")
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser("mttf", help="soft-modem MTTF curves")

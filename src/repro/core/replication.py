@@ -11,9 +11,11 @@ single-run number.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.core.experiment import ExperimentConfig, run_latency_experiment
+from repro.core.campaign import run_campaign
+from repro.core.experiment import ExperimentConfig
 from repro.core.samples import LatencyKind, SampleSet
 from repro.core.stats import percentile
 from repro.core.worst_case import WorstCaseTable
@@ -90,16 +92,25 @@ class ReplicatedCampaign:
 def replicate_experiment(
     base_config: ExperimentConfig,
     seeds: Sequence[int],
+    jobs: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> ReplicatedCampaign:
-    """Run the same campaign under each seed and aggregate the cells."""
+    """Run the same campaign under each seed and aggregate the cells.
+
+    Replicas are independent cells, so they go through
+    :func:`repro.core.campaign.run_campaign`: ``jobs`` fans them across
+    processes and ``cache_dir`` memoizes finished replicas.  Results are
+    aggregated in seed order regardless of either option.
+    """
     if not seeds:
         raise ValueError("need at least one seed")
+    configs = [base_config.with_overrides(seed=seed) for seed in seeds]
+    report = run_campaign(configs, jobs=jobs, cache_dir=cache_dir)
     sample_sets: List[SampleSet] = []
     per_cell: Dict[Tuple[LatencyKind, Optional[int], str], List[float]] = {}
-    for seed in seeds:
-        result = run_latency_experiment(base_config.with_overrides(seed=seed))
-        sample_sets.append(result.sample_set)
-        table = WorstCaseTable(result.sample_set)
+    for sample_set in report.sample_sets:
+        sample_sets.append(sample_set)
+        table = WorstCaseTable(sample_set)
         for row in table.rows:
             for horizon, value in (
                 ("hour", row.max_per_hour_ms),

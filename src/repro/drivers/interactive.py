@@ -120,7 +120,7 @@ class KeystrokeEchoDriver:
     # ------------------------------------------------------------------
     def _schedule_keystroke(self) -> None:
         delay_s = self.rng.poisson_interval(self.config.keystrokes_per_second)
-        self.kernel.engine.schedule_in(
+        self.kernel.engine.post_in(
             self.kernel.clock.s_to_cycles(delay_s), self._key_press
         )
 

@@ -154,29 +154,25 @@ class ProfilingCauseSampler:
         self.samples_taken = 0
         self._ring: List[StackSample] = []
         self._period_cycles = self.kernel.clock.period_cycles(sampling_hz)
-        self._running = False
+        self._timer = self.kernel.engine.schedule_periodic(
+            self._period_cycles, self._nmi_fire, start=False
+        )
         tool.on_sample.append(self._check_sample)
 
     def start(self) -> None:
         """Arm the performance counter (begin sampling)."""
-        if self._running:
-            return
-        self._running = True
-        self.kernel.engine.schedule_in(self._period_cycles, self._nmi_fire)
+        self._timer.start()
 
     def stop(self) -> None:
-        self._running = False
+        self._timer.stop()
 
     # ------------------------------------------------------------------
     def _nmi_fire(self) -> None:
-        if not self._running:
-            return
         stack = tuple(self.kernel.execution_context_stack())
         self.samples_taken += 1
         self._ring.append(StackSample(tsc=self.kernel.read_tsc(), stack=stack))
         if len(self._ring) > self.ring_size:
             del self._ring[: self.ring_size // 2]
-        self.kernel.engine.schedule_in(self._period_cycles, self._nmi_fire)
 
     def _check_sample(self, sample: RawSample) -> None:
         """Capture an episode for an over-threshold *thread* latency or an

@@ -136,7 +136,7 @@ class SoftAudioRenderer:
 
     # ------------------------------------------------------------------
     def _schedule_period(self) -> None:
-        self.kernel.engine.schedule_in(
+        self.kernel.engine.post_in(
             self.kernel.clock.ms_to_cycles(self.config.period_ms), self._period_tick
         )
 

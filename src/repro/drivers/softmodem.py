@@ -153,7 +153,7 @@ class SoftModemDatapump:
         self._schedule_arrival()
 
     def _schedule_arrival(self) -> None:
-        self.kernel.engine.schedule_in(
+        self.kernel.engine.post_in(
             self.kernel.clock.ms_to_cycles(self.config.cycle_ms), self._arrival_tick
         )
 

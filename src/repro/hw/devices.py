@@ -75,7 +75,7 @@ class Device:
         """
         if delay_ms < 0:
             raise ValueError(f"delay must be non-negative, got {delay_ms}")
-        self.engine.schedule_in(self.clock.ms_to_cycles(delay_ms), self.raise_irq)
+        self.engine.post_in(self.clock.ms_to_cycles(delay_ms), self.raise_irq)
 
 
 #: Table 2's peripheral set.  DIRQLs are representative: all sit strictly

@@ -10,10 +10,8 @@ is produced by the kernel simulation, not by this device.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.sim.clock import CpuClock
-from repro.sim.engine import Engine, EventHandle
+from repro.sim.engine import Engine, PeriodicHandle
 from repro.hw.pic import InterruptController
 
 #: Hardware bounds of the 8254 with a 1.193182 MHz input clock.
@@ -43,8 +41,11 @@ class ProgrammableIntervalTimer:
         self.frequency_hz = 0.0
         self.period_cycles = 0
         self.ticks = 0
-        self._next_tick: Optional[EventHandle] = None
-        self._running = False
+        # The 1 kHz tick dominates loaded campaigns, so it runs on the
+        # engine's allocation-free periodic fast path.
+        self._timer: PeriodicHandle = engine.schedule_periodic(
+            1, self._tick, start=False
+        )
         self.set_frequency(frequency_hz)
 
     # ------------------------------------------------------------------
@@ -62,8 +63,10 @@ class ProgrammableIntervalTimer:
             )
         self.frequency_hz = float(frequency_hz)
         self.period_cycles = self.clock.period_cycles(frequency_hz)
-        if self._running:
-            self._reschedule()
+        if self._timer.running:
+            self._timer.set_period(self.period_cycles)
+        else:
+            self._timer.period = self.period_cycles
 
     @property
     def period_ms(self) -> float:
@@ -74,25 +77,11 @@ class ProgrammableIntervalTimer:
     # ------------------------------------------------------------------
     def start(self) -> None:
         """Begin ticking (idempotent)."""
-        if self._running:
-            return
-        self._running = True
-        self._reschedule()
+        self._timer.start()
 
     def stop(self) -> None:
-        self._running = False
-        if self._next_tick is not None:
-            self._next_tick.cancel()
-            self._next_tick = None
-
-    def _reschedule(self) -> None:
-        if self._next_tick is not None:
-            self._next_tick.cancel()
-        self._next_tick = self.engine.schedule_in(self.period_cycles, self._tick)
+        self._timer.stop()
 
     def _tick(self) -> None:
-        if not self._running:
-            return
         self.ticks += 1
         self.pic.assert_irq(self.VECTOR_NAME, self.engine.now)
-        self._next_tick = self.engine.schedule_in(self.period_cycles, self._tick)

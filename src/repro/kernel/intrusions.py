@@ -235,7 +235,7 @@ class IntrusionSource:
 
     def _schedule_next(self) -> None:
         delay_s = self.rng.poisson_interval(self.spec.rate_hz)
-        self.kernel.engine.schedule_in(self.kernel.clock.s_to_cycles(delay_s), self._fire)
+        self.kernel.engine.post_in(self.kernel.clock.s_to_cycles(delay_s), self._fire)
 
     def _fire(self) -> None:
         spec = self.spec
@@ -292,7 +292,7 @@ class DeviceActivitySource:
 
     def _schedule_next(self) -> None:
         delay_s = self.rng.poisson_interval(self.spec.rate_hz)
-        self.kernel.engine.schedule_in(self.kernel.clock.s_to_cycles(delay_s), self._fire)
+        self.kernel.engine.post_in(self.kernel.clock.s_to_cycles(delay_s), self._fire)
 
     def _fire(self) -> None:
         self.fired += 1

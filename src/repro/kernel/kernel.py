@@ -455,7 +455,7 @@ class Kernel:
         if self._int_poll_pending:
             return
         self._int_poll_pending = True
-        self.engine.schedule_at(self.engine.now, self._deferred_interrupt_poll)
+        self.engine.post_at(self.engine.now, self._deferred_interrupt_poll)
 
     def _deferred_interrupt_poll(self) -> None:
         self._int_poll_pending = False
@@ -767,7 +767,7 @@ class Kernel:
         if self._sched_point_pending:
             return
         self._sched_point_pending = True
-        self.engine.schedule_at(self.engine.now, self._schedule_point)
+        self.engine.post_at(self.engine.now, self._schedule_point)
 
     def _schedule_point(self) -> None:
         self._sched_point_pending = False

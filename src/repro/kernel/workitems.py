@@ -55,7 +55,7 @@ class WorkItemQueue:
     def _schedule_next_load(self) -> None:
         assert self._load_spec is not None and self._load_rng is not None
         delay_s = self._load_rng.poisson_interval(self._load_spec.rate_hz)
-        self.kernel.engine.schedule_in(
+        self.kernel.engine.post_in(
             self.kernel.clock.s_to_cycles(delay_s), self._fire_load
         )
 

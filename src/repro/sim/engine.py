@@ -6,14 +6,37 @@ breaks ties), which keeps runs fully deterministic.
 
 The engine deliberately knows nothing about CPUs, kernels or interrupts --
 it is a plain priority queue of callbacks.  Cancellation is handled lazily:
-:meth:`EventHandle.cancel` marks the handle and the main loop discards
+:meth:`EventHandle.cancel` marks the entry and the main loop discards
 cancelled entries as they surface, which keeps both operations O(log n).
+
+Hot-path design
+---------------
+Heap entries are ``[time, seq, fn, args, state, ...]`` lists, so ``heapq``
+orders them with C-level list comparison (``seq`` is unique, comparison
+never reaches the callable).  :class:`EventHandle` *is* such a list -- a
+``list`` subclass with the cancellation API on top -- so scheduling costs a
+single allocation and no Python-level ``__init__`` or ``__lt__`` calls.
+Fire-and-forget callers (device interrupt sources, Poisson intrusion
+streams, deferred polls) should use :meth:`Engine.post_at` /
+:meth:`Engine.post_in`, which push bare lists and skip the handle subclass
+entirely; strictly periodic callers (the 1 kHz PIT tick that dominates real
+campaigns) should use :meth:`Engine.schedule_periodic`, which re-arms by
+recycling one entry list -- zero allocations per tick.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional, Tuple
+from heapq import heappop, heappush
+from typing import Any, Callable, List, Optional
+
+# Heap-entry field indices.  Handle-backed entries carry the owning engine
+# in a sixth slot so ``cancel`` can maintain the live-event counter; bare
+# entries from ``post_at``/``post_in``/periodic timers stop at ``state``.
+# ``fn is None`` marks a dead entry for the pop loops; ``state``
+# distinguishes fired from cancelled for handles.
+_TIME, _SEQ, _FN, _ARGS, _STATE, _ENGINE = 0, 1, 2, 3, 4, 5
+_PENDING, _FIRED, _CANCELLED = 0, 1, 2
 
 
 class SimulationError(RuntimeError):
@@ -24,23 +47,35 @@ class SimulationError(RuntimeError):
     """
 
 
-class EventHandle:
+class EventHandle(list):
     """A cancellable reference to a scheduled event.
 
     Handles are returned by :meth:`Engine.schedule_at` /
     :meth:`Engine.schedule_in`.  They are single-use: once the event has
     fired or been cancelled the handle is inert.
+
+    Implementation note: the handle is the heap entry itself (a ``list``
+    subclass), so the priority queue orders handles with C-level list
+    comparison and scheduling allocates exactly one object.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired")
+    __slots__ = ()
 
-    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: Tuple[Any, ...]):
-        self.time = time
-        self.seq = seq
-        self.fn: Optional[Callable[..., Any]] = fn
-        self.args = args
-        self.cancelled = False
-        self.fired = False
+    @property
+    def time(self) -> int:
+        return self[_TIME]
+
+    @property
+    def seq(self) -> int:
+        return self[_SEQ]
+
+    @property
+    def cancelled(self) -> bool:
+        return self[_STATE] == _CANCELLED
+
+    @property
+    def fired(self) -> bool:
+        return self[_STATE] == _FIRED
 
     def cancel(self) -> bool:
         """Cancel the event.
@@ -48,24 +83,100 @@ class EventHandle:
         Returns ``True`` if the event was still pending, ``False`` if it had
         already fired or been cancelled (in which case this is a no-op).
         """
-        if self.fired or self.cancelled:
+        if self[_STATE] != _PENDING:
             return False
-        self.cancelled = True
-        self.fn = None  # break reference cycles early
-        self.args = ()
+        self[_STATE] = _CANCELLED
+        self[_FN] = None  # break reference cycles early
+        self[_ARGS] = ()
+        self[_ENGINE]._dead += 1
         return True
 
     @property
     def pending(self) -> bool:
         """Whether the event is still waiting to fire."""
-        return not (self.fired or self.cancelled)
-
-    def __lt__(self, other: "EventHandle") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        return self[_STATE] == _PENDING
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
-        return f"<EventHandle t={self.time} seq={self.seq} {state}>"
+        return f"<EventHandle t={self[_TIME]} seq={self[_SEQ]} {state}>"
+
+
+class PeriodicHandle:
+    """A self-re-arming periodic event (see :meth:`Engine.schedule_periodic`).
+
+    The callback fires every ``period`` cycles.  Re-arming recycles the same
+    heap-entry list, so a steady timer costs no allocations per tick.  The
+    period may be changed on the fly; :meth:`set_period` reschedules the
+    next tick from *now*, matching how reprogramming a hardware timer chip
+    restarts its countdown.
+    """
+
+    __slots__ = ("_engine", "period", "_fn", "_entry", "_running")
+
+    def __init__(self, engine: "Engine", period: int, fn: Callable[[], Any]):
+        if period <= 0:
+            raise SimulationError(f"periodic events need a positive period, got {period}")
+        self._engine = engine
+        self.period = int(period)
+        self._fn = fn
+        self._entry: Optional[list] = None
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self) -> None:
+        """Arm the timer: first fire one period from now (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self._arm()
+
+    def stop(self) -> None:
+        """Cancel the pending tick (idempotent)."""
+        self._running = False
+        entry = self._entry
+        if entry is not None and entry[_STATE] == _PENDING:
+            entry[_STATE] = _CANCELLED
+            entry[_FN] = None
+            self._engine._dead += 1
+        self._entry = None
+
+    def set_period(self, period: int) -> None:
+        """Change the period; if running, the countdown restarts from now."""
+        if period <= 0:
+            raise SimulationError(f"periodic events need a positive period, got {period}")
+        self.period = int(period)
+        if self._running:
+            self.stop()
+            self._running = True
+            self._arm()
+
+    def _arm(self) -> None:
+        engine = self._engine
+        engine._seq += 1
+        entry = [engine.now + self.period, engine._seq, self._tick, (), _PENDING]
+        self._entry = entry
+        heapq.heappush(engine._heap, entry)
+
+    def _tick(self) -> None:
+        # Re-arm first (recycling the just-fired entry) so the callback may
+        # stop() or set_period() and see consistent state.
+        engine = self._engine
+        entry = self._entry
+        if self._running and entry is not None:
+            engine._seq += 1
+            entry[_TIME] = engine.now + self.period
+            entry[_SEQ] = engine._seq
+            entry[_FN] = self._tick
+            entry[_STATE] = _PENDING
+            heapq.heappush(engine._heap, entry)
+        self._fn()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "running" if self._running else "stopped"
+        return f"<PeriodicHandle period={self.period} {state}>"
 
 
 class Engine:
@@ -81,8 +192,9 @@ class Engine:
     def __init__(self) -> None:
         self.now: int = 0
         self.events_processed: int = 0
-        self._heap: List[EventHandle] = []
+        self._heap: List[list] = []
         self._seq: int = 0
+        self._dead: int = 0  # cancelled entries still sitting in the heap
         self._running = False
 
     # ------------------------------------------------------------------
@@ -90,58 +202,94 @@ class Engine:
     # ------------------------------------------------------------------
     def schedule_at(self, time: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` to run at absolute cycle ``time``."""
-        time = int(time)
+        if time.__class__ is not int:
+            time = int(time)
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule event at cycle {time}; current time is {self.now}"
             )
-        self._seq += 1
-        handle = EventHandle(time, self._seq, fn, args)
-        heapq.heappush(self._heap, handle)
+        seq = self._seq + 1
+        self._seq = seq
+        handle = EventHandle((time, seq, fn, args, 0, self))
+        heappush(self._heap, handle)
         return handle
 
     def schedule_in(self, delay: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` to run ``delay`` cycles from now."""
-        delay = int(delay)
+        if delay.__class__ is not int:
+            delay = int(delay)
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.schedule_at(self.now + delay, fn, *args)
+        seq = self._seq + 1
+        self._seq = seq
+        handle = EventHandle((self.now + delay, seq, fn, args, 0, self))
+        heappush(self._heap, handle)
+        return handle
+
+    def post_at(self, time: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule_at`: no handle, not cancellable."""
+        if time.__class__ is not int:
+            time = int(time)
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at cycle {time}; current time is {self.now}"
+            )
+        seq = self._seq + 1
+        self._seq = seq
+        heappush(self._heap, [time, seq, fn, args, 0])
+
+    def post_in(self, delay: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule_in`: no handle, not cancellable."""
+        if delay.__class__ is not int:
+            delay = int(delay)
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        seq = self._seq + 1
+        self._seq = seq
+        heappush(self._heap, [self.now + delay, seq, fn, args, 0])
+
+    def schedule_periodic(
+        self, period: int, fn: Callable[[], Any], start: bool = True
+    ) -> PeriodicHandle:
+        """Schedule ``fn()`` every ``period`` cycles (allocation-free ticks).
+
+        Returns a :class:`PeriodicHandle`; pass ``start=False`` to create it
+        disarmed.  The callback takes no arguments.
+        """
+        handle = PeriodicHandle(self, period, fn)
+        if start:
+            handle.start()
+        return handle
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def _pop_next(self) -> Optional[EventHandle]:
-        heap = self._heap
-        while heap:
-            handle = heapq.heappop(heap)
-            if not handle.cancelled:
-                return handle
-        return None
-
     def peek_time(self) -> Optional[int]:
         """Time of the next pending event, or ``None`` if the queue is empty."""
         heap = self._heap
-        while heap and heap[0].cancelled:
-            heapq.heappop(heap)
-        return heap[0].time if heap else None
+        while heap and heap[0][2] is None:
+            heappop(heap)
+            self._dead -= 1
+        return heap[0][0] if heap else None
 
     def step(self) -> bool:
         """Fire the single next event.
 
         Returns ``False`` when no pending events remain.
         """
-        handle = self._pop_next()
-        if handle is None:
-            return False
-        self.now = handle.time
-        handle.fired = True
-        fn, args = handle.fn, handle.args
-        handle.fn = None
-        handle.args = ()
-        self.events_processed += 1
-        assert fn is not None
-        fn(*args)
-        return True
+        heap = self._heap
+        while heap:
+            entry = heappop(heap)
+            fn = entry[2]
+            if fn is None:  # cancelled; discard lazily
+                self._dead -= 1
+                continue
+            self.now = entry[0]
+            entry[4] = 1  # fired
+            self.events_processed += 1
+            fn(*entry[3])
+            return True
+        return False
 
     def run_until(self, time: int, max_events: Optional[int] = None) -> int:
         """Run events until simulated time reaches ``time`` cycles.
@@ -152,8 +300,8 @@ class Engine:
 
         Args:
             time: Absolute target time in cycles.
-            max_events: Optional safety valve; raises
-                :class:`SimulationError` if more than this many events fire.
+            max_events: Optional safety valve; at most this many events fire
+                before :class:`SimulationError` is raised.
 
         Returns:
             The number of events processed during this call.
@@ -165,19 +313,35 @@ class Engine:
             raise SimulationError("engine is not reentrant")
         self._running = True
         fired = 0
+        heap = self._heap
+        pop = heappop
         try:
-            while True:
-                next_time = self.peek_time()
-                if next_time is None or next_time > time:
+            while heap:
+                entry = heap[0]
+                fn = entry[2]
+                if fn is None:  # cancelled; discard lazily
+                    pop(heap)
+                    self._dead -= 1
+                    continue
+                event_time = entry[0]
+                if event_time > time:
                     break
-                self.step()
-                fired += 1
-                if max_events is not None and fired > max_events:
+                if fired == max_events:  # never true when max_events is None
                     raise SimulationError(
                         f"exceeded max_events={max_events} before reaching cycle {time}"
                     )
+                pop(heap)
+                self.now = event_time
+                entry[4] = 1  # fired
+                fired += 1
+                args = entry[3]
+                if args:
+                    fn(*args)
+                else:
+                    fn()
         finally:
             self._running = False
+            self.events_processed += fired
         if self.now < time:
             self.now = time
         return fired
@@ -187,18 +351,37 @@ class Engine:
         return self.run_until(self.now + int(cycles), max_events=max_events)
 
     def drain(self, max_events: int = 1_000_000) -> int:
-        """Run until the event queue is empty (bounded by ``max_events``)."""
+        """Run until the event queue is empty (at most ``max_events`` fire)."""
         fired = 0
-        while self.step():
-            fired += 1
-            if fired > max_events:
-                raise SimulationError(f"drain exceeded {max_events} events")
+        heap = self._heap
+        pop = heappop
+        try:
+            while heap:
+                entry = heap[0]
+                fn = entry[2]
+                if fn is None:  # cancelled; discard lazily
+                    pop(heap)
+                    self._dead -= 1
+                    continue
+                if fired == max_events:
+                    raise SimulationError(f"drain exceeded {max_events} events")
+                pop(heap)
+                self.now = entry[0]
+                entry[4] = 1  # fired
+                fired += 1
+                args = entry[3]
+                if args:
+                    fn(*args)
+                else:
+                    fn()
+        finally:
+            self.events_processed += fired
         return fired
 
     @property
     def pending_count(self) -> int:
-        """Number of non-cancelled events still queued (O(n))."""
-        return sum(1 for h in self._heap if not h.cancelled)
+        """Number of non-cancelled events still queued (O(1))."""
+        return len(self._heap) - self._dead
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Engine now={self.now} pending={len(self._heap)}>"
+        return f"<Engine now={self.now} pending={self.pending_count}>"

@@ -160,3 +160,168 @@ class TestDeterminism:
             return log
 
         assert run() == run()
+
+
+class TestMaxEventsClamp:
+    """The max_events guard fires at most max_events events (regression:
+    it used to fire one extra event past the limit before raising)."""
+
+    def test_run_until_fires_exactly_max_events(self):
+        engine = Engine()
+        fired = []
+
+        def tick():
+            fired.append(engine.now)
+            engine.schedule_in(1, tick)
+
+        engine.schedule_at(0, tick)
+        with pytest.raises(SimulationError):
+            engine.run_until(10_000, max_events=5)
+        assert len(fired) == 5
+
+    def test_drain_fires_exactly_max_events(self):
+        engine = Engine()
+        fired = []
+
+        def tick():
+            fired.append(engine.now)
+            engine.schedule_in(1, tick)
+
+        engine.schedule_at(0, tick)
+        with pytest.raises(SimulationError):
+            engine.drain(max_events=7)
+        assert len(fired) == 7
+
+    def test_max_events_exactly_sufficient_does_not_raise(self):
+        engine = Engine()
+        for t in range(10):
+            engine.schedule_at(t, lambda: None)
+        assert engine.run_until(100, max_events=10) == 10
+
+
+class TestPostEvents:
+    """post_at/post_in: fire-and-forget scheduling without a handle."""
+
+    def test_post_at_fires(self):
+        engine = Engine()
+        fired = []
+        assert engine.post_at(5, fired.append, "x") is None
+        engine.run_until(10)
+        assert fired == ["x"]
+
+    def test_post_in_fires_relative(self):
+        engine = Engine()
+        fired = []
+        engine.schedule_at(10, lambda: engine.post_in(5, lambda: fired.append(engine.now)))
+        engine.run_until(20)
+        assert fired == [15]
+
+    def test_post_interleaves_with_schedule_in_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule_at(5, order.append, "handle")
+        engine.post_at(5, order.append, "post")
+        engine.run_until(5)
+        assert order == ["handle", "post"]
+
+    def test_post_at_past_raises(self):
+        engine = Engine()
+        engine.schedule_at(10, lambda: None)
+        engine.run_until(10)
+        with pytest.raises(SimulationError):
+            engine.post_at(5, lambda: None)
+
+    def test_post_in_negative_raises(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.post_in(-1, lambda: None)
+
+
+class TestPeriodic:
+    def test_fires_every_period(self):
+        engine = Engine()
+        ticks = []
+        engine.schedule_periodic(10, lambda: ticks.append(engine.now))
+        engine.run_until(45)
+        assert ticks == [10, 20, 30, 40]
+
+    def test_start_false_creates_disarmed(self):
+        engine = Engine()
+        ticks = []
+        timer = engine.schedule_periodic(10, lambda: ticks.append(engine.now), start=False)
+        assert not timer.running
+        engine.run_until(50)
+        assert ticks == []
+        timer.start()
+        engine.run_until(100)
+        assert ticks == [60, 70, 80, 90, 100]
+
+    def test_stop_cancels_pending_tick(self):
+        engine = Engine()
+        ticks = []
+        timer = engine.schedule_periodic(10, lambda: ticks.append(engine.now))
+        engine.run_until(25)
+        timer.stop()
+        engine.run_until(100)
+        assert ticks == [10, 20]
+        assert engine.pending_count == 0
+
+    def test_set_period_restarts_countdown_from_now(self):
+        engine = Engine()
+        ticks = []
+        timer = engine.schedule_periodic(10, lambda: ticks.append(engine.now))
+        engine.run_until(25)          # fired at 10, 20
+        timer.set_period(3)           # next fires at 28, then every 3
+        engine.run_until(35)
+        assert ticks == [10, 20, 28, 31, 34]
+
+    def test_callback_may_stop_its_own_timer(self):
+        engine = Engine()
+        ticks = []
+        timer = engine.schedule_periodic(10, lambda: (ticks.append(engine.now),
+                                                      timer.stop() if len(ticks) >= 3 else None))
+        engine.run_until(1000)
+        assert ticks == [10, 20, 30]
+
+    def test_bad_period_raises(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.schedule_periodic(0, lambda: None)
+        timer = engine.schedule_periodic(5, lambda: None, start=False)
+        with pytest.raises(SimulationError):
+            timer.set_period(-1)
+
+    def test_start_stop_idempotent(self):
+        engine = Engine()
+        ticks = []
+        timer = engine.schedule_periodic(10, lambda: ticks.append(engine.now))
+        timer.start()                 # already running: no double tick
+        engine.run_until(15)
+        assert ticks == [10]
+        timer.stop()
+        timer.stop()
+        assert engine.pending_count == 0
+
+
+class TestPendingCount:
+    """pending_count is O(1) and stays correct through mixed operations."""
+
+    def test_mixed_schedule_cancel_fire(self):
+        engine = Engine()
+        handles = [engine.schedule_at(i * 10, lambda: None) for i in range(6)]
+        engine.post_at(100, lambda: None)
+        assert engine.pending_count == 7
+        handles[1].cancel()
+        handles[3].cancel()
+        assert engine.pending_count == 5
+        engine.run_until(25)          # fires handles 0 and 2
+        assert engine.pending_count == 3
+        engine.drain()
+        assert engine.pending_count == 0
+
+    def test_double_cancel_counts_once(self):
+        engine = Engine()
+        h = engine.schedule_at(5, lambda: None)
+        assert h.cancel() is True
+        assert h.cancel() is False
+        assert engine.pending_count == 0

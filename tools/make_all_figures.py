@@ -3,21 +3,29 @@
 
 One-shot driver for users who just want the artefacts:
 
-    python tools/make_all_figures.py [duration_s] [output_dir]
+    python tools/make_all_figures.py [duration_s] [output_dir] [--jobs N]
+                                     [--cache-dir DIR]
 
 Writes the same files as ``pytest benchmarks/`` into ``output_dir``
 (default ``benchmarks/results``).  Duration is simulated seconds per
 experiment cell (default 120; 600 for publication-quality tails).
+
+The nine simulation cells (the 2 OS x 4 workload matrix plus the
+Figure 5 virus-scanner run) are independent and deterministic, so
+``--jobs`` fans them across worker processes and ``--cache-dir`` memoizes
+them -- rerunning after an analysis-side change then costs seconds, not
+re-simulation.  Output is byte-identical regardless of either flag.
 """
 
-import sys
+import argparse
 import time
 from pathlib import Path
 
 from repro.analysis.charts import mttf_chart
 from repro.analysis.mttf import mttf_curve
 from repro.analysis.tolerance import format_table1
-from repro.core.experiment import ExperimentConfig, run_latency_experiment
+from repro.core.campaign import run_campaign
+from repro.core.experiment import ExperimentConfig
 from repro.core.report import compare_sample_sets, format_figure4_panel
 from repro.core.samples import LatencyKind
 from repro.core.worst_case import WorstCaseTable
@@ -28,10 +36,22 @@ WORKLOADS = ("office", "workstation", "games", "web")
 
 
 def main() -> int:
-    duration = float(sys.argv[1]) if len(sys.argv) > 1 else 120.0
-    out_dir = Path(sys.argv[2]) if len(sys.argv) > 2 else Path("benchmarks/results")
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("duration", type=float, nargs="?", default=120.0,
+                        help="simulated seconds per experiment cell")
+    parser.add_argument("out_dir", type=Path, nargs="?",
+                        default=Path("benchmarks/results"))
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for independent cells")
+    parser.add_argument("--cache-dir", default=None,
+                        help="content-addressed result cache directory")
+    parser.add_argument("--seed", type=int, default=1999)
+    args = parser.parse_args()
+
+    duration = args.duration
+    out_dir = args.out_dir
     out_dir.mkdir(parents=True, exist_ok=True)
-    seed = 1999
+    seed = args.seed
 
     def save(name, content):
         (out_dir / name).write_text(content + "\n")
@@ -39,16 +59,29 @@ def main() -> int:
 
     save("table1_latency_tolerances.txt", format_table1())
 
-    print(f"running the OS x workload matrix ({duration:.0f}s per cell)...")
-    matrix = {}
-    for os_name in ("nt4", "win98"):
-        for workload in WORKLOADS:
-            t0 = time.time()
-            matrix[(os_name, workload)] = run_latency_experiment(
-                ExperimentConfig(os_name=os_name, workload=workload,
-                                 duration_s=duration, seed=seed)
-            ).sample_set
-            print(f"  {os_name}/{workload}: {time.time() - t0:.0f}s wall")
+    # Every simulation cell in one campaign: the 2x4 matrix plus the
+    # Figure 5 virus-scanner run.
+    matrix_keys = [(os_name, workload)
+                   for os_name in ("nt4", "win98") for workload in WORKLOADS]
+    configs = [
+        ExperimentConfig(os_name=os_name, workload=workload,
+                         duration_s=duration, seed=seed)
+        for os_name, workload in matrix_keys
+    ]
+    configs.append(
+        ExperimentConfig(os_name="win98", workload="office", duration_s=duration,
+                         seed=seed, extra_profile=VIRUS_SCANNER)
+    )
+
+    print(f"running the OS x workload matrix ({duration:.0f}s per cell, "
+          f"jobs={args.jobs})...")
+    t0 = time.time()
+    report = run_campaign(configs, jobs=args.jobs, cache_dir=args.cache_dir)
+    wall = time.time() - t0
+    matrix = dict(zip(matrix_keys, report.sample_sets))
+    scanned = report.sample_sets[-1]
+    cache_note = (f", {report.cache_hits} cached" if args.cache_dir else "")
+    print(f"  {len(configs)} cells in {wall:.0f}s wall{cache_note}")
 
     # Figure 4.
     panels = []
@@ -72,10 +105,6 @@ def main() -> int:
     )
 
     # Figure 5.
-    scanned = run_latency_experiment(
-        ExperimentConfig(os_name="win98", workload="office", duration_s=duration,
-                         seed=seed, extra_profile=VIRUS_SCANNER)
-    ).sample_set
     base24 = LatencyHistogram.from_values(
         matrix[("win98", "office")].latencies_ms(LatencyKind.THREAD, priority=24))
     scan24 = LatencyHistogram.from_values(
