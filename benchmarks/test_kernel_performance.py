@@ -1,0 +1,111 @@
+"""Kernel dispatch and sample-pipeline microbenchmarks (ISSUE 2).
+
+Complements ``test_sim_performance.py``: where that file times whole
+simulations, these isolate the two subsystems the dispatch fast path
+optimised -- interrupt delivery through the kernel (Frame free-list, PIC
+pending list, guarded tracing) and the columnar sample recorder
+(``array('q')`` columns + cached sorted series).  Headline numbers merge
+into ``BENCH_sim.json`` alongside the rest.
+"""
+
+import random
+
+from repro.core.experiment import build_loaded_os
+from repro.core.samples import LatencyKind, RawSample, SampleColumns, SampleSet
+from repro.sim.clock import CpuClock
+
+from benchmarks.test_sim_performance import record_measurement
+
+
+def test_kernel_dispatch_throughput(benchmark):
+    """Interrupt deliveries per wall-second through the loaded kernel."""
+
+    def one_second_loaded():
+        os, _ = build_loaded_os("win98", "games", seed=1)
+        os.machine.run_for_ms(1000)
+        return os.kernel.stats.interrupts_delivered
+
+    interrupts = benchmark.pedantic(one_second_loaded, rounds=3, iterations=1)
+    assert interrupts > 500
+    per_wall_s = interrupts / benchmark.stats.stats.min
+    record_measurement(
+        "kernel_dispatch_throughput",
+        interrupts_per_wall_s=round(per_wall_s),
+        interrupts_per_simulated_s=interrupts,
+    )
+
+
+def _synthetic_cycles(n):
+    """Plausible measurement cycles (ints only, like the live recorder)."""
+    clock = CpuClock()
+    rng = random.Random(42)
+    ms = clock.ms_to_cycles
+    samples = []
+    t = 0
+    for seq in range(n):
+        t += ms(1.0) + rng.randrange(0, ms(0.25))
+        samples.append(
+            RawSample(
+                seq=seq,
+                priority=28 if seq % 2 == 0 else 24,
+                t_read=t,
+                delay_cycles=ms(1.0),
+                t_assert=t + ms(1.0) + rng.randrange(0, ms(1.0)),
+                t_isr=t + ms(1.1) + rng.randrange(0, ms(1.0)),
+                t_dpc=t + ms(1.2) + rng.randrange(0, ms(4.0)),
+                t_thread=t + ms(1.3) + rng.randrange(0, ms(8.0)),
+            )
+        )
+    return clock, samples
+
+
+def test_sample_recording_throughput(benchmark):
+    """Cycles per wall-second through the columnar recorder end to end.
+
+    Streams N pre-built cycles into :class:`SampleColumns` and then pulls
+    the two sorted series every figure consumes, i.e. the whole
+    record-then-analyse path minus the simulator.
+    """
+    n = 20_000
+    clock, samples = _synthetic_cycles(n)
+
+    def record_and_analyse():
+        columns = SampleColumns()
+        append = columns.append
+        for sample in samples:
+            append(sample)
+        ss = SampleSet(clock, "win98", "games", duration_s=n / 1000.0, columns=columns)
+        ss.sorted_latencies_ms(LatencyKind.DPC_INTERRUPT)
+        ss.sorted_latencies_ms(LatencyKind.THREAD, priority=28)
+        return len(ss)
+
+    assert benchmark(record_and_analyse) == n
+    per_sec = n / benchmark.stats.stats.min
+    record_measurement(
+        "sample_recording_rate",
+        samples_per_wall_s=round(per_sec),
+    )
+
+
+def test_sorted_series_cache_amortises_reuse(benchmark):
+    """Re-deriving percentiles off the cached sorted series is O(1)-ish."""
+    n = 20_000
+    clock, samples = _synthetic_cycles(n)
+    columns = SampleColumns()
+    for sample in samples:
+        columns.append(sample)
+    ss = SampleSet(clock, "win98", "games", duration_s=n / 1000.0, columns=columns)
+    ss.sorted_latencies_ms(LatencyKind.DPC_INTERRUPT)  # warm
+
+    from repro.core.stats import percentile
+
+    def reuse():
+        series = ss.sorted_latencies_ms(LatencyKind.DPC_INTERRUPT)
+        return percentile(series, 0.999)
+
+    result = benchmark(reuse)
+    assert result > 0.0
+    record_measurement(
+        "sorted_series_reuse",
+        seconds_per_percentile_query=benchmark.stats.stats.min,
+    )

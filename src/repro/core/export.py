@@ -42,7 +42,8 @@ def sample_set_to_csv(sample_set: SampleSet) -> str:
     )
     writer = csv.writer(buffer)
     writer.writerow(CSV_FIELDS)
-    for sample in sample_set.samples:
+    # iter_samples (not .samples) keeps a columnar set on its fast path.
+    for sample in sample_set.iter_samples():
         writer.writerow(
             [
                 sample.seq,
@@ -118,7 +119,7 @@ def sample_set_to_json(sample_set: SampleSet, indent: Optional[int] = None) -> s
                 "t_dpc": s.t_dpc,
                 "t_thread": s.t_thread,
             }
-            for s in sample_set.samples
+            for s in sample_set.iter_samples()
         ],
     }
     return json.dumps(payload, indent=indent)
@@ -153,7 +154,7 @@ def latencies_to_csv(sample_set: SampleSet) -> str:
     kinds = list(LatencyKind)
     writer.writerow(["seq", "priority"] + [k.value + "_ms" for k in kinds])
     to_ms = sample_set.clock.cycles_to_ms
-    for sample in sample_set.samples:
+    for sample in sample_set.iter_samples():
         row: List[object] = [sample.seq, sample.priority]
         for kind in kinds:
             cycles = sample.latency_cycles(kind)

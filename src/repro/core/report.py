@@ -33,10 +33,10 @@ def _weekly_worst(
 ) -> float:
     from repro.core.worst_case import usage_pattern_for
 
-    values = sample_set.latencies_ms(kind, priority=priority)
+    values = sample_set.sorted_latencies_ms(kind, priority=priority)
     if not values:
         raise ValueError(f"no {kind.value} data in {sample_set!r}")
-    estimator = WorstCaseEstimator(values, sample_set.duration_s)
+    estimator = WorstCaseEstimator(values, sample_set.duration_s, presorted=True)
     pattern = usage_pattern_for(sample_set.workload)
     return estimator.expected_max(pattern.week_seconds / time_compression)
 
@@ -145,8 +145,8 @@ def format_figure4_panel(sample_set: SampleSet, kind: LatencyKind, priority=None
     """Render one Figure 4 panel as a text log-log histogram."""
     from repro.core.histogram import LatencyHistogram
 
-    values = sample_set.latencies_ms(kind, priority=priority)
-    histogram = LatencyHistogram.from_values(values)
+    values = sample_set.sorted_latencies_ms(kind, priority=priority)
+    histogram = LatencyHistogram.from_sorted_values(values)
     suffix = f" (priority {priority})" if priority is not None else ""
     title = (
         f"{sample_set.os_name} {kind.value}{suffix} under {sample_set.workload} "

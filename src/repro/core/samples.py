@@ -17,15 +17,38 @@ is *estimated* as (read-time TSC + programmed delay), giving the +/- one
 PIT period resolution the paper accepts; the simulator additionally records
 the ground-truth assertion time so the estimation error itself can be
 studied.
+
+Storage is columnar: a :class:`SampleSet` holds one ``array('q')`` per
+timestamp field (:class:`SampleColumns`) rather than a Python object per
+cycle, so long collection runs cost eight machine words per sample instead
+of a dataclass plus boxed ints.  The per-kind latency series are computed
+straight off the columns, and one sorted copy per ``(kind, priority,
+origin)`` is cached for every order-statistics consumer
+(:class:`~repro.core.stats.DistributionSummary`, ``percentile``,
+``exceedance_fraction``, the worst-case estimator).
+
+API compatibility: ``sample_set.samples`` still yields the familiar
+``List[RawSample]``.  Accessing it materialises the list once and switches
+the set to list-backed mode (mutations through those objects stay visible,
+exactly as before the columnar rewrite); code that never touches
+``.samples`` -- the whole figure/report pipeline -- stays on the fast
+columnar path.
 """
 
 from __future__ import annotations
 
 import enum
+from array import array
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.sim.clock import CpuClock
+
+#: Column sentinel for "timestamp not recorded" (``None`` in RawSample).
+#: Every real value is a non-negative cycle count, so -1 is unambiguous.
+_NONE = -1
+
+_ORIGIN_MODES = ("auto", "estimate", "truth")
 
 
 class LatencyKind(enum.Enum):
@@ -142,6 +165,124 @@ class RawSample:
         return self.t_dpc is not None and self.t_thread is not None
 
 
+class SampleColumns:
+    """Column-major storage for measurement cycles.
+
+    One signed 64-bit array per :class:`RawSample` field; optional
+    timestamps use ``-1`` for "not recorded" (all real values are
+    non-negative cycle counts).  This is the recorder the latency tool
+    streams into on its hot path and the storage behind a columnar
+    :class:`SampleSet`.
+    """
+
+    __slots__ = (
+        "seq",
+        "priority",
+        "t_read",
+        "delay_cycles",
+        "t_assert",
+        "t_isr",
+        "t_dpc",
+        "t_thread",
+    )
+
+    def __init__(self) -> None:
+        self.seq = array("q")
+        self.priority = array("q")
+        self.t_read = array("q")
+        self.delay_cycles = array("q")
+        self.t_assert = array("q")
+        self.t_isr = array("q")
+        self.t_dpc = array("q")
+        self.t_thread = array("q")
+
+    def __len__(self) -> int:
+        return len(self.seq)
+
+    def append(self, sample: RawSample) -> None:
+        """Append one completed cycle (drop-in for ``list.append``)."""
+        self.append_cycle(
+            sample.seq,
+            sample.priority,
+            sample.t_read,
+            sample.delay_cycles,
+            sample.t_assert,
+            sample.t_isr,
+            sample.t_dpc,
+            sample.t_thread,
+        )
+
+    def append_cycle(
+        self,
+        seq: int,
+        priority: int,
+        t_read: int,
+        delay_cycles: int,
+        t_assert: Optional[int] = None,
+        t_isr: Optional[int] = None,
+        t_dpc: Optional[int] = None,
+        t_thread: Optional[int] = None,
+    ) -> None:
+        self.seq.append(seq)
+        self.priority.append(priority)
+        self.t_read.append(t_read)
+        self.delay_cycles.append(delay_cycles)
+        self.t_assert.append(_NONE if t_assert is None else t_assert)
+        self.t_isr.append(_NONE if t_isr is None else t_isr)
+        self.t_dpc.append(_NONE if t_dpc is None else t_dpc)
+        self.t_thread.append(_NONE if t_thread is None else t_thread)
+
+    def view(self, index: int) -> RawSample:
+        """A :class:`RawSample` for row ``index`` (a fresh object per call)."""
+        t_assert = self.t_assert[index]
+        t_isr = self.t_isr[index]
+        t_dpc = self.t_dpc[index]
+        t_thread = self.t_thread[index]
+        return RawSample(
+            seq=self.seq[index],
+            priority=self.priority[index],
+            t_read=self.t_read[index],
+            delay_cycles=self.delay_cycles[index],
+            t_assert=None if t_assert == _NONE else t_assert,
+            t_isr=None if t_isr == _NONE else t_isr,
+            t_dpc=None if t_dpc == _NONE else t_dpc,
+            t_thread=None if t_thread == _NONE else t_thread,
+        )
+
+    def __iter__(self) -> Iterator[RawSample]:
+        for index in range(len(self.seq)):
+            yield self.view(index)
+
+    def extend(self, other: "SampleColumns") -> None:
+        for name in self.__slots__:
+            getattr(self, name).extend(getattr(other, name))
+
+    def copy(self) -> "SampleColumns":
+        duplicate = SampleColumns()
+        duplicate.extend(self)
+        return duplicate
+
+    def fingerprint_stream(self) -> Iterator[Tuple[int, ...]]:
+        """Rows as raw tuples (sentinels included) for hashing/goldens."""
+        return zip(
+            self.seq,
+            self.priority,
+            self.t_read,
+            self.delay_cycles,
+            self.t_assert,
+            self.t_isr,
+            self.t_dpc,
+            self.t_thread,
+        )
+
+    def __getstate__(self):
+        return tuple(getattr(self, name) for name in self.__slots__)
+
+    def __setstate__(self, state) -> None:
+        for name, column in zip(self.__slots__, state):
+            setattr(self, name, column)
+
+
 class SampleSet:
     """A collection of samples from one measurement run.
 
@@ -150,7 +291,11 @@ class SampleSet:
         os_name: Which OS personality produced the data.
         workload: Name of the stress load.
         duration_s: Simulated wall time of the collection.
-        samples: The raw samples.
+
+    Two storage modes (see module docstring): columnar (the default; fast
+    aggregate paths plus cached sorted series) and list-backed, entered the
+    first time :attr:`samples` is accessed so legacy callers can mutate
+    individual :class:`RawSample` objects in place.
     """
 
     def __init__(
@@ -160,34 +305,113 @@ class SampleSet:
         workload: str,
         duration_s: float,
         samples: Optional[List[RawSample]] = None,
+        columns: Optional[SampleColumns] = None,
     ):
+        if samples is not None and columns is not None:
+            raise ValueError("pass either samples or columns, not both")
         self.clock = clock
         self.os_name = os_name
         self.workload = workload
         self.duration_s = duration_s
-        self.samples: List[RawSample] = samples if samples is not None else []
+        # List-backed mode keeps the caller's list (aliasing semantics of
+        # the pre-columnar SampleSet); columnar mode owns the columns.
+        self._legacy: Optional[List[RawSample]] = samples
+        self._columns: Optional[SampleColumns] = (
+            None if samples is not None else (columns if columns is not None else SampleColumns())
+        )
+        # sorted latency series keyed by (kind, priority, origin); only
+        # maintained in columnar mode, where appends are the sole mutation.
+        self._sorted_cache: Dict[Tuple[LatencyKind, Optional[int], str], List[float]] = {}
 
+    # ------------------------------------------------------------------
+    # Storage modes
+    # ------------------------------------------------------------------
+    @property
+    def samples(self) -> List[RawSample]:
+        """The raw samples as a mutable list (legacy API).
+
+        First access materialises the columns into :class:`RawSample`
+        objects and switches this set to list-backed mode permanently, so
+        in-place mutations through the returned objects are honoured by
+        every later computation -- at the cost of the columnar fast paths
+        and sorted-series caching.
+        """
+        if self._legacy is None:
+            columns = self._columns
+            assert columns is not None
+            self._legacy = [columns.view(i) for i in range(len(columns))]
+            self._columns = None
+            self._sorted_cache.clear()
+        return self._legacy
+
+    @property
+    def is_columnar(self) -> bool:
+        """True while still on the columnar fast path."""
+        return self._legacy is None
+
+    @property
+    def columns(self) -> Optional[SampleColumns]:
+        """The live columns (``None`` once list-backed)."""
+        return self._columns
+
+    def _as_columns(self) -> SampleColumns:
+        """A column snapshot of the current contents (mode unchanged)."""
+        if self._legacy is None:
+            assert self._columns is not None
+            return self._columns.copy()
+        columns = SampleColumns()
+        for sample in self._legacy:
+            columns.append(sample)
+        return columns
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
     def add(self, sample: RawSample) -> None:
-        self.samples.append(sample)
+        if self._legacy is not None:
+            self._legacy.append(sample)
+            return
+        self._columns.append(sample)
+        if self._sorted_cache:
+            self._sorted_cache.clear()
 
     def __len__(self) -> int:
-        return len(self.samples)
+        if self._legacy is not None:
+            return len(self._legacy)
+        return len(self._columns)
 
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
     def iter_samples(self, priority: Optional[int] = None) -> Iterable[RawSample]:
+        if self._legacy is not None:
+            if priority is None:
+                return iter(self._legacy)
+            return (s for s in self._legacy if s.priority == priority)
+        columns = self._columns
         if priority is None:
-            return iter(self.samples)
-        return (s for s in self.samples if s.priority == priority)
+            return iter(columns)
+        return (
+            columns.view(i)
+            for i, p in enumerate(columns.priority)
+            if p == priority
+        )
 
     def priorities(self) -> Sequence[int]:
-        return sorted({s.priority for s in self.samples})
+        if self._legacy is not None:
+            return sorted({s.priority for s in self._legacy})
+        return sorted(set(self._columns.priority))
 
+    # ------------------------------------------------------------------
+    # Latency series
+    # ------------------------------------------------------------------
     def latencies_ms(
         self,
         kind: LatencyKind,
         priority: Optional[int] = None,
         origin: str = "auto",
     ) -> List[float]:
-        """All measured latencies of ``kind`` in milliseconds.
+        """All measured latencies of ``kind`` in milliseconds, sample order.
 
         Thread-relative kinds (THREAD, THREAD_INTERRUPT) are per-signalled-
         thread: pass ``priority`` to select the priority-24 or priority-28
@@ -198,35 +422,234 @@ class SampleSet:
             origin: Hardware-interrupt reference mode (see
                 :meth:`RawSample.origin`).
         """
-        out: List[float] = []
         to_ms = self.clock.cycles_to_ms
-        for sample in self.iter_samples(priority):
-            cycles = sample.latency_cycles(kind, origin=origin)
-            if cycles is not None:
-                out.append(to_ms(cycles))
+        if self._legacy is not None:
+            out: List[float] = []
+            for sample in self.iter_samples(priority):
+                cycles = sample.latency_cycles(kind, origin=origin)
+                if cycles is not None:
+                    out.append(to_ms(cycles))
+            return out
+        return [to_ms(c) for c in self._latency_cycles(kind, priority, origin)]
+
+    def _latency_cycles(
+        self, kind: LatencyKind, priority: Optional[int], origin: str
+    ) -> List[int]:
+        """Columnar evaluation of :meth:`RawSample.latency_cycles` per row.
+
+        Mirrors the per-sample arithmetic exactly (same skips for missing
+        timestamps, same origin-mode selection); kept branch-light by
+        specialising the loop per kind/origin.
+        """
+        if origin not in _ORIGIN_MODES:
+            raise ValueError(f"unknown origin mode {origin!r}")
+        columns = self._columns
+        pri = columns.priority
+        t_read = columns.t_read
+        delay = columns.delay_cycles
+        t_assert = columns.t_assert
+        t_isr = columns.t_isr
+        t_dpc = columns.t_dpc
+        t_thread = columns.t_thread
+        n = len(pri)
+        out: List[int] = []
+        append = out.append
+
+        if kind is LatencyKind.ISR:
+            # auto references ground truth (the hooked handler knows the
+            # tick phase), matching RawSample.latency_cycles.
+            if origin == "estimate":
+                for i in range(n):
+                    if priority is not None and pri[i] != priority:
+                        continue
+                    isr = t_isr[i]
+                    if isr == _NONE:
+                        continue
+                    append(isr - (t_read[i] + delay[i]))
+            else:
+                for i in range(n):
+                    if priority is not None and pri[i] != priority:
+                        continue
+                    isr = t_isr[i]
+                    start = t_assert[i]
+                    if isr == _NONE or start == _NONE:
+                        continue
+                    append(isr - start)
+            return out
+
+        if kind is LatencyKind.DPC:
+            for i in range(n):
+                if priority is not None and pri[i] != priority:
+                    continue
+                isr = t_isr[i]
+                dpc = t_dpc[i]
+                if isr == _NONE or dpc == _NONE:
+                    continue
+                append(dpc - isr)
+            return out
+
+        if kind is LatencyKind.THREAD:
+            for i in range(n):
+                if priority is not None and pri[i] != priority:
+                    continue
+                dpc = t_dpc[i]
+                thread = t_thread[i]
+                if dpc == _NONE or thread == _NONE:
+                    continue
+                append(thread - dpc)
+            return out
+
+        if kind is LatencyKind.DPC_INTERRUPT:
+            end_col = t_dpc
+        elif kind is LatencyKind.THREAD_INTERRUPT:
+            end_col = t_thread
+        else:
+            raise ValueError(f"unknown kind {kind!r}")
+
+        if origin == "estimate":
+            for i in range(n):
+                if priority is not None and pri[i] != priority:
+                    continue
+                end = end_col[i]
+                if end == _NONE:
+                    continue
+                append(end - (t_read[i] + delay[i]))
+        elif origin == "truth":
+            for i in range(n):
+                if priority is not None and pri[i] != priority:
+                    continue
+                end = end_col[i]
+                start = t_assert[i]
+                if end == _NONE or start == _NONE:
+                    continue
+                append(end - start)
+        else:  # auto
+            for i in range(n):
+                if priority is not None and pri[i] != priority:
+                    continue
+                end = end_col[i]
+                if end == _NONE:
+                    continue
+                if t_isr[i] != _NONE:
+                    start = t_assert[i]
+                    if start == _NONE:
+                        continue
+                    append(end - start)
+                else:
+                    append(end - (t_read[i] + delay[i]))
         return out
+
+    def sorted_latencies_ms(
+        self,
+        kind: LatencyKind,
+        priority: Optional[int] = None,
+        origin: str = "auto",
+    ) -> List[float]:
+        """Ascending latency series of ``kind`` (milliseconds).
+
+        In columnar mode the sorted copy is computed once per ``(kind,
+        priority, origin)`` and reused by every order-statistics consumer
+        (percentiles, exceedance fractions, tail fits, histograms);
+        appending new samples invalidates the cache.  Callers must treat
+        the returned list as immutable.  In list-backed mode (after
+        ``.samples`` has been handed out) nothing is cached, because
+        samples can then be mutated in place.
+        """
+        if self._legacy is not None:
+            return sorted(self.latencies_ms(kind, priority=priority, origin=origin))
+        key = (kind, priority, origin)
+        cached = self._sorted_cache.get(key)
+        if cached is None:
+            cached = sorted(self.latencies_ms(kind, priority=priority, origin=origin))
+            self._sorted_cache[key] = cached
+        return cached
+
+    def histogram(
+        self,
+        kind: LatencyKind,
+        priority: Optional[int] = None,
+        origin: str = "auto",
+        edges_ms: Optional[Sequence[float]] = None,
+    ):
+        """A :class:`~repro.core.histogram.LatencyHistogram` of ``kind``.
+
+        Built from the cached sorted series by bucket bisection, so a
+        Figure 4 panel costs O(buckets log n) on top of the one-time sort
+        instead of a per-value scan.
+        """
+        from repro.core.histogram import LOG2_BUCKETS_MS, LatencyHistogram
+
+        values = self.sorted_latencies_ms(kind, priority=priority, origin=origin)
+        return LatencyHistogram.from_sorted_values(
+            values, edges_ms if edges_ms is not None else LOG2_BUCKETS_MS
+        )
+
+    def summary(
+        self,
+        kind: LatencyKind,
+        priority: Optional[int] = None,
+        origin: str = "auto",
+    ):
+        """A :class:`~repro.core.stats.DistributionSummary` of ``kind``."""
+        from repro.core.stats import DistributionSummary
+
+        return DistributionSummary.from_sorted(
+            self.sorted_latencies_ms(kind, priority=priority, origin=origin)
+        )
 
     def sample_rate_hz(self, priority: Optional[int] = None) -> float:
         """Measurement cycles per second for the selected series."""
         if self.duration_s <= 0:
             return 0.0
-        count = sum(1 for _ in self.iter_samples(priority))
+        if self._legacy is not None:
+            count = sum(1 for _ in self.iter_samples(priority))
+        elif priority is None:
+            count = len(self._columns)
+        else:
+            count = sum(1 for p in self._columns.priority if p == priority)
         return count / self.duration_s
 
     def merged_with(self, other: "SampleSet") -> "SampleSet":
         """Concatenate two runs of the same configuration."""
         if (self.os_name, self.workload) != (other.os_name, other.workload):
             raise ValueError("cannot merge sample sets from different configurations")
+        columns = self._as_columns()
+        if other._legacy is None:
+            columns.extend(other._columns)
+        else:
+            for sample in other._legacy:
+                columns.append(sample)
         return SampleSet(
             self.clock,
             self.os_name,
             self.workload,
             self.duration_s + other.duration_s,
-            samples=self.samples + other.samples,
+            columns=columns,
         )
+
+    # ------------------------------------------------------------------
+    # Pickling (campaign workers ship SampleSets across processes)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        return {
+            "clock": self.clock,
+            "os_name": self.os_name,
+            "workload": self.workload,
+            "duration_s": self.duration_s,
+            "columns": self._as_columns(),
+        }
+
+    def __setstate__(self, state) -> None:
+        self.clock = state["clock"]
+        self.os_name = state["os_name"]
+        self.workload = state["workload"]
+        self.duration_s = state["duration_s"]
+        self._legacy = None
+        self._columns = state["columns"]
+        self._sorted_cache = {}
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
-            f"<SampleSet {self.os_name}/{self.workload} n={len(self.samples)} "
+            f"<SampleSet {self.os_name}/{self.workload} n={len(self)} "
             f"dur={self.duration_s:.1f}s>"
         )

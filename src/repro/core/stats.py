@@ -149,9 +149,18 @@ class DistributionSummary:
 
     @classmethod
     def from_values(cls, values: Sequence[float]) -> "DistributionSummary":
-        if not values:
+        return cls.from_sorted(sorted(values))
+
+    @classmethod
+    def from_sorted(cls, data: Sequence[float]) -> "DistributionSummary":
+        """Summarise pre-sorted (ascending) data without re-sorting.
+
+        The columnar :class:`~repro.core.samples.SampleSet` keeps one
+        sorted copy per latency series; this entry point lets every
+        summary reuse it.
+        """
+        if not data:
             raise ValueError("cannot summarise empty data")
-        data = sorted(values)
         return cls(
             count=len(data),
             mean=sum(data) / len(data),

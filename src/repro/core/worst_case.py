@@ -92,12 +92,15 @@ class WorstCaseEstimator:
         latencies_ms: Sequence[float],
         duration_s: float,
         cap_ms: float = 500.0,
+        presorted: bool = False,
     ):
         if duration_s <= 0:
             raise ValueError(f"duration must be positive, got {duration_s}")
         if not latencies_ms:
             raise ValueError("no latency samples")
-        self.sorted = sorted(latencies_ms)
+        # presorted callers (the columnar SampleSet's cached series) hand
+        # over ascending data the estimator must not mutate.
+        self.sorted = list(latencies_ms) if presorted else sorted(latencies_ms)
         self.duration_s = duration_s
         self.rate_hz = len(self.sorted) / duration_s
         self.cap_ms = cap_ms
@@ -206,11 +209,11 @@ class WorstCaseTable:
         compression = self.time_compression
         rows_by_key = {}
         for label, kind, priority in TABLE3_ROWS:
-            values = self.sample_set.latencies_ms(kind, priority=priority)
+            values = self.sample_set.sorted_latencies_ms(kind, priority=priority)
             if not values:
                 continue
             estimator = WorstCaseEstimator(
-                values, self.sample_set.duration_s, cap_ms=self.cap_ms
+                values, self.sample_set.duration_s, cap_ms=self.cap_ms, presorted=True
             )
             row = WorstCaseRow(
                 label=label,

@@ -28,10 +28,11 @@ paper-reproduction figures).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
-from repro.core.samples import RawSample, SampleSet
+from repro.core.samples import RawSample, SampleColumns, SampleSet
 from repro.kernel.dpc import Dpc, DpcImportance
 from repro.kernel.kernel import Kernel
 from repro.kernel.nt4 import BootedOs
@@ -95,13 +96,20 @@ class WdmLatencyTool:
     """The measurement driver plus its control application."""
 
     DEVICE_NAME = r"\\.\WdmLatTool"
+    #: Ticks of ISR-entry history kept for the DPC's phase lookup; a DPC
+    #: delayed past this many PIT periods loses its ISR timestamp (matching
+    #: the bounded ring the real Win98 driver would keep).
+    ISR_RING_SIZE = 16
 
     def __init__(self, os: BootedOs, config: LatencyToolConfig = LatencyToolConfig()):
         self.os = os
         self.kernel: Kernel = os.kernel
         self.config = config
         self.io = IoManager(self.kernel)
-        self.samples: List[RawSample] = []
+        #: Completed cycles, recorded column-wise (eight ints per cycle,
+        #: no per-cycle Python object retained).  Supports ``len()`` and
+        #: ``append(RawSample)`` like the list it replaced.
+        self.samples: SampleColumns = SampleColumns()
         #: Observers called with each completed RawSample (the cause tool
         #: hooks in here to detect over-threshold episodes).
         self.on_sample: List = []
@@ -109,10 +117,13 @@ class WdmLatencyTool:
         self._started_at: Optional[int] = None
         self._current: Optional[RawSample] = None
         self._current_irp: Optional[Irp] = None  # the paper's ghIRP
-        # Ring of recent (assert_time, isr_entry_tsc) pairs saved by the
-        # private PIT handler; the DPC looks up the tick that enqueued it,
-        # which matters whenever DPC latency exceeds one PIT period.
-        self._isr_ring: List[Tuple[int, int]] = []
+        # Ring of recent tick assertion times saved by the private PIT
+        # handler, with the ISR-entry TSC held in a dict keyed by assertion
+        # time; the DPC looks up the tick that enqueued it, which matters
+        # whenever DPC latency exceeds one PIT period.  The deque's maxlen
+        # bounds memory on long runs and evicts oldest-first in O(1).
+        self._isr_ring: Deque[int] = deque(maxlen=self.ISR_RING_SIZE)
+        self._isr_tsc_by_assert: Dict[int, int] = {}
         self._events: Dict[int, KEvent] = {}
         self._hook_installed = False
         self.driver = self.io.load_driver("wdmlat", self._driver_entry)
@@ -173,17 +184,18 @@ class WdmLatencyTool:
     def _pit_isr_hook(self, kernel: Kernel, asserted_at: int) -> None:
         # "PIT ISR: Read and save TSR" -- runs at the clock ISR's first
         # instruction, before the OS handler body.
-        self._isr_ring.append((asserted_at, kernel.read_tsc()))
-        if len(self._isr_ring) > 16:
-            del self._isr_ring[:8]
+        ring = self._isr_ring
+        if len(ring) == self.ISR_RING_SIZE:
+            # The append below pushes the oldest tick out of the deque;
+            # drop its dict entry too so the map stays ring-sized.
+            self._isr_tsc_by_assert.pop(ring[0], None)
+        ring.append(asserted_at)
+        self._isr_tsc_by_assert[asserted_at] = kernel.read_tsc()
 
     def _isr_tsc_for_assert(self, asserted_at: Optional[int]) -> Optional[int]:
         if asserted_at is None:
             return None
-        for assert_time, tsc in reversed(self._isr_ring):
-            if assert_time == asserted_at:
-                return tsc
-        return None
+        return self._isr_tsc_by_assert.get(asserted_at)
 
     # ------------------------------------------------------------------
     # Timer DPC (2.2.3)
@@ -285,5 +297,5 @@ class WdmLatencyTool:
             os_name=self.os.name,
             workload=workload_name,
             duration_s=duration_s,
-            samples=list(self.samples),
+            columns=self.samples.copy(),
         )

@@ -56,6 +56,13 @@ class InterruptController:
 
     def __init__(self) -> None:
         self._vectors: Dict[str, InterruptVector] = {}
+        # Live list of pending vectors, maintained by assert_irq/acknowledge.
+        # The kernel polls for deliverable interrupts on every frame
+        # transition, so the poll must not scan every registered vector;
+        # membership mirrors ``vector.pending`` exactly (asserting appends,
+        # acknowledging removes) and selection below is by a total order,
+        # so iteration order of this list never affects results.
+        self._pending_vectors: List[InterruptVector] = []
         self.delivery_hook: Optional[Callable[[], None]] = None
 
     # ------------------------------------------------------------------
@@ -94,6 +101,7 @@ class InterruptController:
             vector.coalesced += 1
             return False
         vector.asserted_at = now
+        self._pending_vectors.append(vector)
         if self.delivery_hook is not None:
             self.delivery_hook()
         return True
@@ -104,9 +112,12 @@ class InterruptController:
         Ties are broken by earliest assertion time (FIFO within a level),
         then by name for determinism.
         """
+        pending = self._pending_vectors
+        if not pending:
+            return None
         best: Optional[InterruptVector] = None
-        for vector in self._vectors.values():
-            if not vector.pending or vector.irql <= above_irql:
+        for vector in pending:
+            if vector.irql <= above_irql:
                 continue
             if best is None:
                 best = vector
@@ -128,6 +139,7 @@ class InterruptController:
             raise RuntimeError(f"acknowledge of non-pending vector {name!r}")
         asserted_at = vector.asserted_at
         vector.asserted_at = None
+        self._pending_vectors.remove(vector)
         assert asserted_at is not None
         return asserted_at
 

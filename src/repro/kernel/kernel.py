@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.hw.machine import Machine
 from repro.hw.pic import InterruptVector
 from repro.kernel import irql as irql_mod
+from repro.sim.engine import _PENDING as _RUN_PENDING, _STATE as _RUN_STATE
 from repro.kernel.dpc import Dpc, DpcImportance, DpcQueue
 from repro.kernel.objects import (
     DispatcherObject,
@@ -74,7 +75,12 @@ class FrameKind(enum.Enum):
 
 
 class Frame:
-    """One execution context (ISR instance, DPC drain slot, or thread)."""
+    """One execution context (ISR instance, DPC drain slot, or thread).
+
+    ISR and DPC frames are short-lived (one per delivery/drain slot) and
+    recycled through the kernel's frame free-list; :meth:`reset` restores
+    every field so a pooled frame is indistinguishable from a fresh one.
+    """
 
     __slots__ = (
         "kind",
@@ -83,6 +89,7 @@ class Frame:
         "owner",
         "module",
         "function",
+        "mf_label",
         "gen_started",
         "run_end",
         "run_remaining",
@@ -91,24 +98,30 @@ class Frame:
     )
 
     def __init__(self, kind: FrameKind, irql: int, owner: object, module: str, function: str):
+        self.reset(kind, irql, owner, module, function)
+
+    def reset(
+        self, kind: FrameKind, irql: int, owner: object, module: str, function: str
+    ) -> "Frame":
         self.kind = kind
         self.gen = None
         self.irql = irql
         self.owner = owner
         self.module = module
         self.function = function
+        self.mf_label = (module, function)
         self.gen_started = False
         self.run_end = None  # EventHandle of the active Run segment
         self.run_remaining = 0  # unconsumed cycles of a paused Run
         self.run_label: Optional[Tuple[str, str]] = None
         self.send_value = None
+        return self
 
     @property
     def label(self) -> Tuple[str, str]:
         """(module, function) describing the code currently executing."""
-        if self.run_label is not None:
-            return self.run_label
-        return (self.module, self.function)
+        run_label = self.run_label
+        return run_label if run_label is not None else self.mf_label
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Frame {self.kind.value} irql={self.irql} {self.module}!{self.function}>"
@@ -152,7 +165,17 @@ class Kernel:
         self.trace = machine.trace
         self.profile = profile
         self.costs = profile.cycles(machine.clock)
+        # Scalar cost copies: OsProfileCycles is frozen, so lifting the hot
+        # ones out of the dataclass saves two attribute hops per delivery.
+        self._isr_dispatch_cost = self.costs.isr_dispatch
+        self._dpc_dispatch_cost = self.costs.dpc_dispatch
+        self._context_switch_cost = self.costs.context_switch
+        self._quantum_cycles = self.costs.quantum
         self.stats = KernelStats()
+        #: Free-list of finished ISR/DPC frames (thread frames live as long
+        #: as their thread and are never pooled).  A recycled frame has been
+        #: fully reset; nothing retains references to finished frames.
+        self._frame_pool: List[Frame] = []
 
         self.isr_stack: List[Frame] = []
         self.dpc_frame: Optional[Frame] = None
@@ -162,6 +185,7 @@ class Kernel:
         self.threads: List[KThread] = []
 
         self._isr_factories: Dict[str, IsrFactory] = {}
+        self._isr_fn_names: Dict[str, str] = {}  # vector name -> "_<name>_isr"
         self._timers: List[KTimer] = []
         self._pit_hooks: List[Callable[["Kernel", int], None]] = []
         self._sched_point_pending = False
@@ -462,11 +486,31 @@ class Kernel:
         self._poll_interrupts()
 
     def _poll_interrupts(self) -> bool:
-        """Deliver the best pending interrupt if the CPU can take it now."""
-        frame = self._running_frame()
-        if frame is not None and self._run_cli and frame.run_end is not None and frame.run_end.pending:
-            return False
-        vector = self.pic.highest_pending(self.current_irql())
+        """Deliver the best pending interrupt if the CPU can take it now.
+
+        This runs on every frame transition, so the running-frame walk and
+        IRQL derivation are inlined (one pass) rather than calling
+        :meth:`_running_frame` and :meth:`current_irql` separately, and the
+        active-Run pending check reads the heap-entry state slot directly.
+        """
+        isr_stack = self.isr_stack
+        if isr_stack:
+            frame = isr_stack[-1]
+            irql = frame.irql
+        elif self.dpc_frame is not None:
+            frame = self.dpc_frame
+            irql = irql_mod.DISPATCH_LEVEL
+        elif self.current_thread is not None:
+            frame = self.current_thread.frame
+            irql = frame.irql
+        else:
+            frame = None
+            irql = irql_mod.PASSIVE_LEVEL
+        if frame is not None and self._run_cli:
+            run_end = frame.run_end
+            if run_end is not None and run_end[_RUN_STATE] == _RUN_PENDING:
+                return False
+        vector = self.pic.highest_pending(irql)
         if vector is None:
             return False
         self._deliver(vector)
@@ -481,18 +525,33 @@ class Kernel:
         if factory is None:
             # Spurious/unconnected interrupt: swallow with a tiny HAL cost.
             factory = _spurious_isr_factory
-        frame = Frame(FrameKind.ISR, vector.irql, vector, "HAL", f"_{vector.name}_isr")
+        name = vector.name
+        fn_name = self._isr_fn_names.get(name)
+        if fn_name is None:
+            fn_name = self._isr_fn_names[name] = f"_{name}_isr"
+        pool = self._frame_pool
+        if pool:
+            frame = pool.pop().reset(FrameKind.ISR, vector.irql, vector, "HAL", fn_name)
+        else:
+            frame = Frame(FrameKind.ISR, vector.irql, vector, "HAL", fn_name)
         frame.gen = factory(self, vector, asserted_at)
-        self.isr_stack.append(frame)
-        self.stats.interrupts_delivered += 1
-        self.stats.per_vector[vector.name] = self.stats.per_vector.get(vector.name, 0) + 1
-        if len(self.isr_stack) > self.stats.isr_nest_max:
-            self.stats.isr_nest_max = len(self.isr_stack)
-        self.trace.emit(self.engine.now, "irq", f"deliver {vector.name}", irql=vector.irql)
+        isr_stack = self.isr_stack
+        isr_stack.append(frame)
+        stats = self.stats
+        stats.interrupts_delivered += 1
+        per_vector = stats.per_vector
+        per_vector[name] = per_vector.get(name, 0) + 1
+        if len(isr_stack) > stats.isr_nest_max:
+            stats.isr_nest_max = len(isr_stack)
+        trace = self.trace
+        if trace.enabled:
+            trace.emit(self.engine.now, "irq", f"deliver {name}", irql=vector.irql)
         # Charge the residual hardware latency plus software dispatch cost
         # before the ISR's first instruction executes.
-        hw_residual = max(0, asserted_at + vector.latency_cycles - self.engine.now)
-        self._resume_frame(frame, extra_cycles=hw_residual + self.costs.isr_dispatch)
+        hw_residual = asserted_at + vector.latency_cycles - self.engine.now
+        if hw_residual < 0:
+            hw_residual = 0
+        self._resume_frame(frame, extra_cycles=hw_residual + self._isr_dispatch_cost)
 
     # ==================================================================
     # Frame execution machinery
@@ -544,15 +603,17 @@ class Kernel:
     def _drive(self, frame: Frame) -> None:
         """Advance ``frame``'s generator until it runs, blocks or finishes."""
         steps = 0
+        max_steps = self.MAX_ZERO_TIME_STEPS
+        send = frame.gen.send
         while True:
             steps += 1
-            if steps > self.MAX_ZERO_TIME_STEPS:
+            if steps > max_steps:
                 raise KernelError(
                     f"{frame!r} made {steps} zero-time steps; infinite loop in driver code?"
                 )
             send_value, frame.send_value = frame.send_value, None
             try:
-                request = frame.gen.send(send_value)
+                request = send(send_value)
             except StopIteration:
                 self._frame_finished(frame)
                 return
@@ -586,15 +647,25 @@ class Kernel:
             popped = self.isr_stack.pop()
             if popped is not frame:  # pragma: no cover - invariant
                 raise KernelError("ISR stack corruption")
+            # Recycle before unwinding: nothing references a finished ISR
+            # frame, and the unwind may deliver the next interrupt, which
+            # then reuses it without allocating.
+            frame.gen = None
+            frame.owner = None
+            self._frame_pool.append(frame)
             self._unwind()
         elif frame.kind is FrameKind.DPC:
             self.dpc_frame = None
             self.stats.dpcs_executed += 1
+            frame.gen = None
+            frame.owner = None
+            self._frame_pool.append(frame)
             self._unwind()
         else:
             thread: KThread = frame.owner
             thread.state = ThreadState.TERMINATED
-            self.trace.emit(self.engine.now, "thread", f"exit {thread.name}")
+            if self.trace.enabled:
+                self.trace.emit(self.engine.now, "thread", f"exit {thread.name}")
             if self.current_thread is thread:
                 self.current_thread = None
                 self._cancel_quantum()
@@ -633,11 +704,18 @@ class Kernel:
             self._pause_run(self.current_thread.frame)
         dpc = self.dpc_queue.pop()
         assert dpc is not None
-        frame = Frame(FrameKind.DPC, irql_mod.DISPATCH_LEVEL, dpc, dpc.module, dpc.name)
+        pool = self._frame_pool
+        if pool:
+            frame = pool.pop().reset(
+                FrameKind.DPC, irql_mod.DISPATCH_LEVEL, dpc, dpc.module, dpc.name
+            )
+        else:
+            frame = Frame(FrameKind.DPC, irql_mod.DISPATCH_LEVEL, dpc, dpc.module, dpc.name)
         frame.gen = self._dpc_body(dpc)
         self.dpc_frame = frame
-        self.trace.emit(self.engine.now, "dpc", f"run {dpc.name}")
-        self._resume_frame(frame, extra_cycles=self.costs.dpc_dispatch)
+        if self.trace.enabled:
+            self.trace.emit(self.engine.now, "dpc", f"run {dpc.name}")
+        self._resume_frame(frame, extra_cycles=self._dpc_dispatch_cost)
         return True
 
     def _dpc_body(self, dpc: Dpc):
@@ -672,7 +750,8 @@ class Kernel:
                 self.clock.ms_to_cycles(request.timeout_ms), self._wait_timeout, thread
             )
         self.stats.waits_blocked += 1
-        self.trace.emit(self.engine.now, "thread", f"block {thread.name}", on=obj.name)
+        if self.trace.enabled:
+            self.trace.emit(self.engine.now, "thread", f"block {thread.name}", on=obj.name)
         self.current_thread = None
         self._cancel_quantum()
         self._dispatch()
@@ -701,9 +780,12 @@ class Kernel:
                 self.clock.ms_to_cycles(request.timeout_ms), self._wait_timeout, thread
             )
         self.stats.waits_blocked += 1
-        self.trace.emit(
-            self.engine.now, "thread", f"block-any {thread.name}",
-            on=",".join(o.name for o in request.objs),
+        # The joined object-name payload is expensive to build; emit_lazy
+        # defers it entirely unless tracing is on.
+        self.trace.emit_lazy(
+            self.engine.now,
+            "thread",
+            lambda: (f"block-any {thread.name}", {"on": ",".join(o.name for o in request.objs)}),
         )
         self.current_thread = None
         self._cancel_quantum()
@@ -756,7 +838,8 @@ class Kernel:
         if status is WaitStatus.OBJECT:
             self._apply_wait_boost(thread)
         self.ready.enqueue(thread)
-        self.trace.emit(self.engine.now, "thread", f"ready {thread.name}")
+        if self.trace.enabled:
+            self.trace.emit(self.engine.now, "thread", f"ready {thread.name}")
         self._request_schedule_point()
 
     # ==================================================================
@@ -826,15 +909,18 @@ class Kernel:
         self.current_thread = thread
         self._start_quantum(thread)
         self.stats.context_switches += 1
-        self.trace.emit(self.engine.now, "sched", f"switch {thread.name}", prio=thread.priority)
-        cost = self.costs.context_switch if previous is not thread else 0
+        if self.trace.enabled:
+            self.trace.emit(
+                self.engine.now, "sched", f"switch {thread.name}", prio=thread.priority
+            )
+        cost = self._context_switch_cost if previous is not thread else 0
         self._resume_frame(thread.frame, extra_cycles=cost)
 
     # -- quantum ------------------------------------------------------
     def _start_quantum(self, thread: KThread) -> None:
         self._cancel_quantum()
         self._quantum_handle = self.engine.schedule_in(
-            self.costs.quantum, self._quantum_fire, thread
+            self._quantum_cycles, self._quantum_fire, thread
         )
 
     def _cancel_quantum(self) -> None:

@@ -10,7 +10,7 @@ labelling conventions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 
 @dataclass(frozen=True)
@@ -38,6 +38,10 @@ class TraceLog:
         self.enabled = enabled
         self.capacity = capacity
         self._records: List[TraceRecord] = []
+        # Per-category index, maintained by emit and rebuilt on overflow
+        # drops, so a filtered records() call never scans (or copies) the
+        # whole buffer.
+        self._by_category: Dict[str, List[TraceRecord]] = {}
         self.dropped = 0
 
     def emit(self, time: int, category: str, message: str, **payload: Any) -> None:
@@ -45,20 +49,65 @@ class TraceLog:
         if not self.enabled:
             return
         if len(self._records) >= self.capacity:
-            # Drop the oldest half in one go; amortises the cost.
-            drop = self.capacity // 2
-            del self._records[:drop]
-            self.dropped += drop
-        self._records.append(TraceRecord(time, category, message, dict(payload)))
+            self._drop_oldest_half()
+        record = TraceRecord(time, category, message, dict(payload))
+        self._records.append(record)
+        bucket = self._by_category.get(category)
+        if bucket is None:
+            bucket = self._by_category[category] = []
+        bucket.append(record)
+
+    def emit_lazy(
+        self,
+        time: int,
+        category: str,
+        fn: Callable[[], Union[str, Tuple[str, Dict[str, Any]]]],
+    ) -> None:
+        """Record one event whose payload is expensive to build.
+
+        ``fn`` is only called when tracing is enabled; it returns either the
+        message string or a ``(message, payload_dict)`` pair.  Hot call
+        sites use this so a disabled trace pays one attribute check and
+        nothing else -- no f-string formatting, no kwargs dict.
+        """
+        if not self.enabled:
+            return
+        built = fn()
+        if isinstance(built, tuple):
+            message, payload = built
+        else:
+            message, payload = built, {}
+        if len(self._records) >= self.capacity:
+            self._drop_oldest_half()
+        record = TraceRecord(time, category, message, dict(payload))
+        self._records.append(record)
+        bucket = self._by_category.get(category)
+        if bucket is None:
+            bucket = self._by_category[category] = []
+        bucket.append(record)
+
+    def _drop_oldest_half(self) -> None:
+        """Drop the oldest half of the buffer in one go (amortised cost)."""
+        drop = self.capacity // 2
+        del self._records[:drop]
+        self.dropped += drop
+        self._by_category = {}
+        for record in self._records:
+            self._by_category.setdefault(record.category, []).append(record)
 
     def records(self, category: Optional[str] = None) -> List[TraceRecord]:
-        """All retained records, optionally filtered by category."""
+        """All retained records, optionally filtered by category.
+
+        With a category the per-category index is copied directly; the full
+        buffer is never touched.
+        """
         if category is None:
             return list(self._records)
-        return [r for r in self._records if r.category == category]
+        return list(self._by_category.get(category, ()))
 
     def clear(self) -> None:
         self._records.clear()
+        self._by_category.clear()
         self.dropped = 0
 
     def __len__(self) -> int:

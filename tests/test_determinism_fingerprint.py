@@ -1,0 +1,76 @@
+"""Golden-fingerprint regression tests for the dispatch fast path.
+
+The kernel hot-path optimisations (Frame free-list, PIC pending list,
+columnar sample recording) must not change *what* the simulator computes,
+only how fast.  These tests hash the full sample column stream of one
+loaded Windows 98 cell and one loaded NT 4.0 cell against fingerprints
+captured from the pre-optimisation kernel; any behavioural drift in
+delivery order, IRQL bookkeeping, timer arithmetic or sample recording
+changes the hash.
+
+If a fingerprint mismatch is *intended* (a deliberate simulator behaviour
+change), re-capture the constants below with the snippet in this module's
+docstring and bump ``repro.core.campaign.CALIBRATION_VERSION`` so stale
+campaign caches are invalidated::
+
+    ss = run_latency_experiment(ExperimentConfig(...)).sample_set
+    h = hashlib.sha256()
+    for s in ss.iter_samples():
+        h.update(repr((s.seq, s.priority, s.t_read, s.delay_cycles,
+                       s.t_assert, s.t_isr, s.t_dpc, s.t_thread)).encode())
+    print(len(ss), h.hexdigest())
+"""
+
+import hashlib
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig, run_latency_experiment
+
+#: (os_name, workload) -> (sample count, sha256 of the sample stream),
+#: captured at duration_s=8.0, seed=1999 on the pre-fast-path kernel.
+GOLDEN_FINGERPRINTS = {
+    ("win98", "games"): (
+        884,
+        "a0f75c74910df4474fc332ceac8644a9fb9027388d17ebd360599430fa080929",
+    ),
+    ("nt4", "office"): (
+        3508,
+        "b6786d1251c47fb58fda153124a77b6150beb410f68e9dabd77442ce6cf75203",
+    ),
+}
+
+
+def sample_stream_fingerprint(sample_set) -> str:
+    """SHA-256 over every timestamp of every sample, in sample order."""
+    digest = hashlib.sha256()
+    for s in sample_set.iter_samples():
+        digest.update(
+            repr(
+                (
+                    s.seq,
+                    s.priority,
+                    s.t_read,
+                    s.delay_cycles,
+                    s.t_assert,
+                    s.t_isr,
+                    s.t_dpc,
+                    s.t_thread,
+                )
+            ).encode()
+        )
+    return digest.hexdigest()
+
+
+@pytest.mark.parametrize(
+    "os_name,workload", sorted(GOLDEN_FINGERPRINTS), ids=lambda v: str(v)
+)
+def test_loaded_cell_sample_stream_unchanged(os_name, workload):
+    expected_count, expected_hash = GOLDEN_FINGERPRINTS[(os_name, workload)]
+    sample_set = run_latency_experiment(
+        ExperimentConfig(
+            os_name=os_name, workload=workload, duration_s=8.0, seed=1999
+        )
+    ).sample_set
+    assert len(sample_set) == expected_count
+    assert sample_stream_fingerprint(sample_set) == expected_hash

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""cProfile harness for the simulator's hot path.
+
+Runs one loaded experiment cell (Windows 98 or NT 4.0 personality under a
+calibrated stress workload) under cProfile and prints the top-N functions
+by cumulative time, plus the same table by internal time.  This is the
+profile that drove the ISSUE-2 dispatch fast path; keep it handy so future
+"the simulator feels slow" reports start from data.
+
+Usage::
+
+    PYTHONPATH=src python tools/profile_sim.py
+    PYTHONPATH=src python tools/profile_sim.py --os nt4 --workload office \\
+        --duration-s 4 --top 30 --output profile_report.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.experiment import build_loaded_os  # noqa: E402
+
+
+def profile_cell(os_name: str, workload: str, duration_s: float, seed: int) -> cProfile.Profile:
+    """Profile ``duration_s`` simulated seconds of one loaded cell.
+
+    The OS build/boot happens outside the profiled region so the report
+    shows steady-state dispatch costs, not one-time setup.
+    """
+    os, _ = build_loaded_os(os_name, workload, seed=seed)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    os.machine.run_for_ms(duration_s * 1000.0)
+    profiler.disable()
+    return profiler
+
+
+def format_report(profiler: cProfile.Profile, top: int) -> str:
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    buffer.write(f"== top {top} by cumulative time ==\n")
+    stats.sort_stats("cumulative").print_stats(top)
+    buffer.write(f"\n== top {top} by internal time ==\n")
+    stats.sort_stats("tottime").print_stats(top)
+    return buffer.getvalue()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--os", dest="os_name", default="win98", choices=("win98", "nt4"))
+    parser.add_argument("--workload", default="games",
+                        choices=("office", "workstation", "games", "web"))
+    parser.add_argument("--duration-s", type=float, default=2.0,
+                        help="simulated seconds to profile (default: 2)")
+    parser.add_argument("--seed", type=int, default=1, help="experiment seed")
+    parser.add_argument("--top", type=int, default=20,
+                        help="functions per table (default: 20)")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="also write the report to this file")
+    args = parser.parse_args(argv)
+
+    profiler = profile_cell(args.os_name, args.workload, args.duration_s, args.seed)
+    header = (
+        f"profile: {args.os_name}/{args.workload} duration_s={args.duration_s} "
+        f"seed={args.seed}\n"
+    )
+    report = header + format_report(profiler, args.top)
+    print(report)
+    if args.output is not None:
+        args.output.write_text(report)
+        print(f"report written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
