@@ -1,0 +1,59 @@
+"""Deterministic call-budget gate for the simulator hot path.
+
+Wall-clock benchmarks are hopeless regression detectors on shared CI
+runners, so this gate counts *function calls per simulated second*
+instead: the loaded win98/games cell is seeded, its event stream is
+bit-reproducible, and therefore so is the number of times each hot
+function runs.  A >20% jump in any budgeted function's call rate (or in
+the repro-wide total) means someone re-introduced per-event overhead the
+segment-compiled execution path removed -- fail loudly, on any machine.
+
+The budget lives in ``benchmarks/call_budget.json``.  After an
+*intentional* hot-path restructuring, refresh it with::
+
+    PYTHONPATH=src python tools/profile_sim.py --write-budget \\
+        benchmarks/call_budget.json
+
+and eyeball the diff: rates should move down (or stay put), not up.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "tools"))
+
+from profile_sim import call_counts  # noqa: E402
+
+BUDGET_FILE = Path(__file__).parent / "call_budget.json"
+
+#: Allowed growth over the recorded rate before the gate fails.  Wide
+#: enough to absorb deliberate small feature additions, tight enough to
+#: catch an accidental per-event regression (those multiply rates).
+HEADROOM = 1.2
+
+
+def test_hot_path_call_budget():
+    budget = json.loads(BUDGET_FILE.read_text())
+    cfg = budget["config"]
+    counts = call_counts(cfg["os"], cfg["workload"], cfg["duration_s"], cfg["seed"])
+
+    total = counts["total_repro_calls_per_sim_s"]
+    total_allowed = budget["total_repro_calls_per_sim_s"] * HEADROOM
+    assert total <= total_allowed, (
+        f"repro-wide call rate regressed: {total:.0f} calls/sim-s vs "
+        f"budget {budget['total_repro_calls_per_sim_s']:.0f} (+20% headroom "
+        f"= {total_allowed:.0f}); refresh the budget only if intentional"
+    )
+
+    failures = []
+    for name, budgeted_rate in budget["functions"].items():
+        entry = counts["functions"].get(name)
+        actual = entry["calls_per_sim_s"] if entry is not None else 0.0
+        if actual > budgeted_rate * HEADROOM:
+            failures.append(
+                f"  {name}: {actual:.0f} calls/sim-s > "
+                f"{budgeted_rate:.0f} * {HEADROOM}"
+            )
+    assert not failures, "call-budget regressions:\n" + "\n".join(failures)

@@ -41,11 +41,22 @@ def _wall(fn):
     return time.perf_counter() - t0
 
 
-@pytest.mark.skipif(
-    (os.cpu_count() or 1) < 2,
-    reason="parallel speedup needs >=2 CPUs",
-)
 def test_parallel_campaign_speedup():
+    cpus = os.cpu_count() or 1
+    if cpus < 2:
+        # Record *why* the measurement is absent rather than silently
+        # leaving a stale/missing entry: BENCH_sim.json is the durable
+        # perf record, and "not measured here" is itself a data point.
+        record_measurement(
+            "campaign_parallel_8cells",
+            note=(
+                f"skipped: parallel speedup needs >=2 CPUs, host has {cpus}; "
+                "rerun benchmarks/test_campaign_performance.py on a "
+                "multi-core machine to measure"
+            ),
+            cpus=cpus,
+        )
+        pytest.skip(f"parallel speedup needs >=2 CPUs (host has {cpus})")
     configs = _eight_cells()
     serial = _wall(lambda: run_campaign(configs, jobs=1))
     parallel = _wall(lambda: run_campaign(configs, jobs=4))

@@ -37,7 +37,7 @@ from repro.kernel.dpc import Dpc, DpcImportance
 from repro.kernel.kernel import Kernel
 from repro.kernel.nt4 import BootedOs
 from repro.kernel.objects import KEvent, KTimer
-from repro.kernel.requests import Run, Wait
+from repro.kernel.requests import Run, Segment, Segments, Wait, segments_body
 from repro.wdm.driver import DeviceObject, DriverObject, IoManager
 from repro.wdm.irp import Irp, IrpMajorFunction
 
@@ -135,6 +135,17 @@ class WdmLatencyTool:
     def _driver_entry(self, kernel: Kernel, driver: DriverObject) -> None:
         config = self.config
         self.g_timer = KTimer(name="gTimer")
+        # The DPC's post-timestamp CPU burn is a fixed cost, so the routine
+        # is segments-compiled: timestamping runs in the (exec-time) routine
+        # call, the burn is this one prebuilt descriptor.
+        self._dpc_work_segments = Segments(
+            (
+                Segment(
+                    kernel.clock.us_to_cycles(config.dpc_work_us),
+                    label=("WDMLAT", "_LatDpcRoutine"),
+                ),
+            )
+        )
         self.g_dpc = Dpc(
             self._lat_dpc_routine,
             importance=config.dpc_importance,
@@ -200,6 +211,7 @@ class WdmLatencyTool:
     # ------------------------------------------------------------------
     # Timer DPC (2.2.3)
     # ------------------------------------------------------------------
+    @segments_body
     def _lat_dpc_routine(self, kernel: Kernel, dpc: Dpc):
         t_dpc = kernel.read_tsc()  # GetCycleCount(&IRP->ASB[1])
         sample = self._current
@@ -214,10 +226,7 @@ class WdmLatencyTool:
             if self._hook_installed:
                 sample.t_isr = self._isr_tsc_for_assert(dpc.enqueue_clock_assert)
             kernel.set_event(self._events[sample.priority])  # KeSetEvent(gEvent)
-        yield Run(
-            kernel.clock.us_to_cycles(self.config.dpc_work_us),
-            label=("WDMLAT", "_LatDpcRoutine"),
-        )
+        return self._dpc_work_segments
 
     # ------------------------------------------------------------------
     # Thread (2.2.4)

@@ -65,7 +65,7 @@ class Device:
     def raise_irq(self) -> None:
         """Assert the device's interrupt line right now."""
         self.interrupts_raised += 1
-        self.pic.assert_irq(self.config.name, self.engine.now)
+        self.pic.assert_vector(self.vector, self.engine.now)
 
     def complete_in(self, delay_ms: float) -> None:
         """Schedule an operation completion ``delay_ms`` from now.

@@ -95,9 +95,17 @@ class InterruptController:
         Returns ``True`` if the assertion created a new pending interrupt;
         ``False`` if it coalesced into an already-pending one.
         """
-        vector = self._vectors[name]
+        return self.assert_vector(self._vectors[name], now)
+
+    def assert_vector(self, vector: InterruptVector, now: int) -> bool:
+        """:meth:`assert_irq` for callers already holding the vector.
+
+        Steady interrupt sources (devices, intrusion ISRs) assert the same
+        line on every fire; caching the vector object skips the per-fire
+        name lookup.
+        """
         vector.assertions += 1
-        if vector.pending:
+        if vector.asserted_at is not None:
             vector.coalesced += 1
             return False
         vector.asserted_at = now
@@ -115,6 +123,10 @@ class InterruptController:
         pending = self._pending_vectors
         if not pending:
             return None
+        if len(pending) == 1:
+            # One pending line is by far the common case under load.
+            vector = pending[0]
+            return vector if vector.irql > above_irql else None
         best: Optional[InterruptVector] = None
         for vector in pending:
             if vector.irql <= above_irql:
@@ -134,9 +146,17 @@ class InterruptController:
         Returns the cycle time at which the interrupt was asserted, which
         the kernel uses to account true hardware interrupt latency.
         """
-        vector = self._vectors[name]
+        return self.acknowledge_vector(self._vectors[name])
+
+    def acknowledge_vector(self, vector: InterruptVector) -> int:
+        """:meth:`acknowledge` for callers already holding the vector.
+
+        The kernel's delivery path gets the vector object from
+        :meth:`highest_pending`; going back through the name->vector dict
+        would be a wasted lookup per delivery.
+        """
         if not vector.pending:
-            raise RuntimeError(f"acknowledge of non-pending vector {name!r}")
+            raise RuntimeError(f"acknowledge of non-pending vector {vector.name!r}")
         asserted_at = vector.asserted_at
         vector.asserted_at = None
         self._pending_vectors.remove(vector)

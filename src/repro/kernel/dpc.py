@@ -49,9 +49,22 @@ class Dpc:
         module: str = "NTKERN",
     ):
         self.routine = routine
+        #: True when ``routine`` is segments-compiled (marked with
+        #: :func:`repro.kernel.requests.segments_body`); cached here so the
+        #: DPC drain avoids a per-run getattr.
+        self.compiled = bool(getattr(routine, "__wdm_segments__", False))
         self.importance = importance
         self.name = name
         self.module = module
+        #: (module, name) tuple reused by the kernel's DPC frame setup so
+        #: the drain does not allocate a label per run.
+        self.mf_label = (module, name)
+        #: Optional constant Segments body.  When a compiled routine is a
+        #: side-effect-free constant (it just returns a prebuilt tuple),
+        #: the owner may stash that tuple here and the drain installs it on
+        #: the frame without the factory trampoline; segment costs are
+        #: still resolved at execution time.
+        self.const_segs = None
         self.context: object = None
         self.queued = False
         self.enqueued_at: Optional[int] = None

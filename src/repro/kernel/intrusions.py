@@ -31,13 +31,14 @@ import enum
 import itertools
 from collections import deque
 from dataclasses import dataclass, field, replace
+from math import log as _log
 from typing import Deque, List, Optional, Tuple
 
 from repro.kernel import irql as irql_mod
 from repro.kernel.dpc import Dpc, DpcImportance
 from repro.kernel.kernel import Kernel
 from repro.kernel.objects import KEvent, KTimer
-from repro.kernel.requests import Run, Wait
+from repro.kernel.requests import Run, Segment, Segments, Wait, segments_body
 from repro.sim.rng import DurationDistribution, RngStream
 
 _uid = itertools.count(1)
@@ -206,7 +207,20 @@ class SectionExecutor:
 
 
 class IntrusionSource:
-    """Drives one :class:`IntrusionSpec` against a kernel."""
+    """Drives one :class:`IntrusionSpec` against a kernel.
+
+    Hot-path notes: the ISR body is segments-compiled (one descriptor whose
+    cycle cost reads the fire-time sampled duration, so edge-triggered
+    coalescing keeps its overwrite semantics), and the per-event RNG draws
+    are pre-drawn in blocks.  Pre-drawing is sound here because this
+    source's private stream is consumed in a *state-independent* order --
+    one ``(duration, arrival-interval)`` pair per fire, always in that
+    order -- so pulling draws forward in wall time cannot reorder them in
+    stream order.
+    """
+
+    #: (duration, interval) pairs drawn per block refill.
+    PREDRAW_BLOCK = 64
 
     def __init__(
         self,
@@ -221,98 +235,227 @@ class IntrusionSource:
         self.section_executor = section_executor
         self.fired = 0
         self.total_ms = 0.0
+        self._ms_to_cycles = kernel.clock.ms_to_cycles
+        self._s_to_cycles = kernel.clock.s_to_cycles
         self._vector_name: Optional[str] = None
         if spec.kind in (IntrusionKind.CLI, IntrusionKind.ISR):
             level = irql_mod.HIGH_LEVEL if spec.kind is IntrusionKind.CLI else spec.irql
             self._vector_name = kernel.register_intrusion_vector(
                 f"intr-{spec.name}-{next(_uid)}", irql=level
             )
-            kernel.connect_interrupt(self._vector_name, self._isr_factory)
+            self._vector = kernel.pic.vector(self._vector_name)
+            self._assert_vector = kernel.pic.assert_vector
+            self._engine = kernel.engine
+            # One reusable compiled body: the cost callable reads the
+            # duration sampled at fire time, exactly when the generator
+            # body used to read it (its first instruction).  Connected as
+            # a constant Segments tuple -- there is no factory side effect
+            # to defer -- so delivery skips the trampoline.
+            self._isr_segments = Segments(
+                (
+                    Segment(
+                        self._isr_cycles,
+                        cli=spec.kind is IntrusionKind.CLI,
+                        label=(spec.module, spec.function),
+                    ),
+                )
+            )
+            kernel.connect_interrupt(self._vector_name, self._isr_segments)
         if spec.kind is IntrusionKind.SECTION and section_executor is None:
             raise ValueError(f"SECTION intrusion {spec.name!r} needs a SectionExecutor")
+        if spec.kind is IntrusionKind.DPC:
+            #: Free list of reusable burn DPCs (see _new_burn_dpc).
+            self._burn_pool: List[Dpc] = []
         self._duration_ms = 0.0
+        #: Pre-drawn (duration_ms, interval_s) pairs and a cursor into them.
+        self._pairs: List[Tuple[float, float]] = []
+        self._pair_i = 0
+        #: This source's own heap entry, re-armed in place every fire
+        #: (Engine.repost_in) so steady arrivals allocate nothing.
+        self._fire_entry: list = [0, 0, self._fire, (), 0]
+        self._repost_in = kernel.engine.repost_in
         self._schedule_next()
 
     def _schedule_next(self) -> None:
+        # Only the very first arrival is drawn here (a lone interval, before
+        # any duration); every later (duration, interval) pair comes from
+        # the pre-drawn block in _fire.
         delay_s = self.rng.poisson_interval(self.spec.rate_hz)
-        self.kernel.engine.post_in(self.kernel.clock.s_to_cycles(delay_s), self._fire)
+        self._repost_in(self._fire_entry, self._s_to_cycles(delay_s))
+
+    def _refill_block(self) -> List[Tuple[float, float]]:
+        rng = self.rng
+        sample_fast = rng.sample_ms_fast
+        rand = rng.random
+        duration = self.spec.duration
+        rate = self.spec.rate_hz
+        # expovariate(rate) inlined (same expression as random.py, so the
+        # produced floats and the draw count are bit-identical).
+        self._pairs = pairs = [
+            (sample_fast(duration), -_log(1.0 - rand()) / rate)
+            for _ in range(self.PREDRAW_BLOCK)
+        ]
+        self._pair_i = 0
+        return pairs
 
     def _fire(self) -> None:
+        pairs = self._pairs
+        i = self._pair_i
+        if i >= len(pairs):
+            pairs = self._refill_block()
+            i = 0
+        duration_ms, delay_s = pairs[i]
+        self._pair_i = i + 1
         spec = self.spec
-        duration_ms = spec.duration.sample_ms(self.rng)
         self.fired += 1
         self.total_ms += duration_ms
-        label = (spec.module, spec.function)
-        if spec.kind in (IntrusionKind.CLI, IntrusionKind.ISR):
+        kind = spec.kind
+        if kind is IntrusionKind.CLI or kind is IntrusionKind.ISR:
             self._duration_ms = duration_ms
-            self.kernel.pic.assert_irq(self._vector_name, self.kernel.engine.now)
-        elif spec.kind is IntrusionKind.DPC:
-            cycles = self.kernel.clock.ms_to_cycles(duration_ms)
-            dpc = Dpc(
-                routine=lambda kernel, dpc, _cycles=cycles, _label=label: _burn(_cycles, _label),
-                importance=DpcImportance.MEDIUM,
-                name=spec.function,
-                module=spec.module,
-            )
+            self._assert_vector(self._vector, self._engine.now)
+        elif kind is IntrusionKind.DPC:
+            pool = self._burn_pool
+            dpc = pool.pop() if pool else self._new_burn_dpc()
+            dpc.burn_cycles = self._ms_to_cycles(duration_ms)
             self.kernel.queue_dpc(dpc)
         else:  # SECTION
-            assert self.section_executor is not None
-            self.section_executor.submit(duration_ms, label)
-        self._schedule_next()
+            self.section_executor.submit(duration_ms, (spec.module, spec.function))
+        self._repost_in(self._fire_entry, self._s_to_cycles(delay_s))
 
-    def _isr_factory(self, kernel: Kernel, vector, asserted_at: int):
-        cycles = kernel.clock.ms_to_cycles(self._duration_ms)
-        cli = self.spec.kind is IntrusionKind.CLI
-        yield Run(cycles, cli=cli, label=(self.spec.module, self.spec.function))
+    def _isr_cycles(self) -> int:
+        """Cycle cost of the compiled ISR body (fire-time sampled duration)."""
+        return self._ms_to_cycles(self._duration_ms)
+
+    def _new_burn_dpc(self) -> Dpc:
+        """One reusable burn DPC for a DPC-kind source.
+
+        Each pooled DPC carries its own compiled one-segment body whose
+        cost callable reads ``dpc.burn_cycles`` (set at fire time, exactly
+        when the old per-fire DPC computed its fixed cost) and whose
+        ``after`` hook returns the DPC to the pool.  Several may be in
+        flight at once -- a fire while the pool is empty mints another --
+        so queueing behaviour matches the old allocate-per-fire path.
+        """
+        spec = self.spec
+        dpc = Dpc(
+            routine=_pool_placeholder_routine,
+            importance=DpcImportance.MEDIUM,
+            name=spec.function,
+            module=spec.module,
+        )
+        dpc.burn_cycles = 0
+        pool = self._burn_pool
+        segs = Segments(
+            (
+                Segment(
+                    lambda: dpc.burn_cycles,
+                    label=(spec.module, spec.function),
+                    after=lambda: pool.append(dpc),
+                ),
+            )
+        )
+        dpc.routine = lambda kernel, d, _segs=segs: _segs
+        dpc.compiled = True
+        dpc.const_segs = segs
+        return dpc
 
 
 def _burn(cycles: int, label: Tuple[str, str]):
     yield Run(cycles, label=label)
 
 
+def _pool_placeholder_routine(kernel: Kernel, dpc: Dpc):  # pragma: no cover
+    raise RuntimeError("pooled burn DPC queued before its body was installed")
+
+
+def _make_burn_dpc(cycles: int, label: Tuple[str, str], name: str, module: str) -> Dpc:
+    """A one-shot DPC that burns ``cycles`` (segments-compiled ``_burn``)."""
+    segs = Segments((Segment(cycles, label=label),))
+
+    @segments_body
+    def _burn_routine(kernel: Kernel, dpc: Dpc):
+        return segs
+
+    return Dpc(routine=_burn_routine, importance=DpcImportance.MEDIUM, name=name, module=module)
+
+
 class DeviceActivitySource:
     """Poisson interrupt traffic on a real peripheral, with a driver ISR
-    that queues the device's DPC -- the standard WDM pattern."""
+    that queues the device's DPC -- the standard WDM pattern.
+
+    The ISR and DPC bodies are segments-compiled: durations are sampled
+    when the segment starts executing, which is the same simulated instant
+    the generator bodies sampled them.  Arrival intervals are *not*
+    pre-drawn here (unlike :class:`IntrusionSource`): edge-triggered
+    coalescing means fires and ISR executions don't pair one-to-one, so
+    this stream's draw order is state-dependent and must stay on-demand.
+    """
 
     def __init__(self, kernel: Kernel, spec: DeviceActivitySpec, rng: RngStream):
         self.kernel = kernel
         self.spec = spec
         self.rng = rng.child(f"device/{spec.device}")
         self.fired = 0
+        self._s_to_cycles = kernel.clock.s_to_cycles
+        self._random = self.rng.random
+        self._rate = spec.rate_hz
         device = kernel.machine.device(spec.device)
         self.device = device
+        self._raise_irq = device.raise_irq
         self._dpc = Dpc(
             routine=self._dpc_routine,
             importance=DpcImportance.MEDIUM,
             name=f"_{spec.device}Dpc",
             module=spec.module,
         )
-        kernel.connect_interrupt(spec.device, self._isr_factory)
+        self._isr_segments = Segments(
+            (
+                Segment(
+                    spec.isr_duration,
+                    rng=self.rng,
+                    label=(spec.module, f"_{spec.device}Isr"),
+                    after=self._queue_device_dpc,
+                ),
+            )
+        )
+        self._dpc_segments = Segments(
+            (
+                Segment(
+                    spec.dpc_duration,
+                    rng=self.rng,
+                    label=(spec.module, f"_{spec.device}Dpc"),
+                ),
+            )
+        )
+        # Both bodies are side-effect-free constants: the ISR connects as
+        # a bare Segments tuple and the DPC carries its tuple on the Dpc,
+        # so neither pays the factory trampoline per run.
+        self._dpc.const_segs = self._dpc_segments
+        kernel.connect_interrupt(spec.device, self._isr_segments)
+        #: Recycled heap entry, same pattern as IntrusionSource.
+        self._fire_entry: list = [0, 0, self._fire, (), 0]
+        self._repost_in = kernel.engine.repost_in
         self._schedule_next()
 
     def _schedule_next(self) -> None:
         delay_s = self.rng.poisson_interval(self.spec.rate_hz)
-        self.kernel.engine.post_in(self.kernel.clock.s_to_cycles(delay_s), self._fire)
+        self._repost_in(self._fire_entry, self._s_to_cycles(delay_s))
 
     def _fire(self) -> None:
         self.fired += 1
-        self.device.raise_irq()
-        self._schedule_next()
-
-    def _isr_factory(self, kernel: Kernel, vector, asserted_at: int):
-        isr_ms = self.spec.isr_duration.sample_ms(self.rng)
-        yield Run(
-            kernel.clock.ms_to_cycles(isr_ms),
-            label=(self.spec.module, f"_{self.spec.device}Isr"),
+        self._raise_irq()
+        # expovariate(rate) inlined -- bit-identical to random.py's form.
+        self._repost_in(
+            self._fire_entry, self._s_to_cycles(-_log(1.0 - self._random()) / self._rate)
         )
-        kernel.queue_dpc(self._dpc)
 
+    def _queue_device_dpc(self) -> None:
+        self.kernel.queue_dpc(self._dpc)
+
+    @segments_body
     def _dpc_routine(self, kernel: Kernel, dpc: Dpc):
-        dpc_ms = self.spec.dpc_duration.sample_ms(self.rng)
-        yield Run(
-            kernel.clock.ms_to_cycles(dpc_ms),
-            label=(self.spec.module, f"_{self.spec.device}Dpc"),
-        )
+        # Nominal routine (never trampolined: const_segs short-circuits it).
+        return self._dpc_segments
 
 
 class AppThreadSource:

@@ -22,10 +22,22 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from heapq import heappush
+
 from repro.hw.machine import Machine
 from repro.hw.pic import InterruptVector
 from repro.kernel import irql as irql_mod
-from repro.sim.engine import _PENDING as _RUN_PENDING, _STATE as _RUN_STATE
+from repro.sim.engine import (
+    EventHandle,
+    _ARGS as _RUN_ARGS,
+    _CANCELLED as _RUN_CANCELLED,
+    _FIRED as _RUN_FIRED,
+    _FN as _RUN_FN,
+    _PENDING as _RUN_PENDING,
+    _SEQ as _RUN_SEQ,
+    _STATE as _RUN_STATE,
+    _TIME as _RUN_TIME,
+)
 from repro.kernel.dpc import Dpc, DpcImportance, DpcQueue
 from repro.kernel.objects import (
     DispatcherObject,
@@ -36,7 +48,7 @@ from repro.kernel.objects import (
     WaitStatus,
 )
 from repro.kernel.profile import OsProfile
-from repro.kernel.requests import Run, Wait, WaitAny
+from repro.kernel.requests import Run, Segments, Wait, WaitAny
 from repro.kernel.threads import KThread, ReadyQueues, ThreadState
 
 
@@ -92,16 +104,32 @@ class Frame:
         "mf_label",
         "gen_started",
         "run_end",
+        "run_entry",
         "run_remaining",
         "run_label",
         "send_value",
+        "seg_factory",
+        "seg_args",
+        "segs",
+        "seg_index",
+        "seg_running",
     )
 
     def __init__(self, kind: FrameKind, irql: int, owner: object, module: str, function: str):
+        # Reusable run-end heap entry (see Kernel._begin_run).  Deliberately
+        # NOT cleared by reset(): it survives frame recycling, since its
+        # callback args reference this frame object, which is also reused.
+        self.run_entry = None
         self.reset(kind, irql, owner, module, function)
 
     def reset(
-        self, kind: FrameKind, irql: int, owner: object, module: str, function: str
+        self,
+        kind: FrameKind,
+        irql: int,
+        owner: object,
+        module: str,
+        function: str,
+        mf_label: Optional[Tuple[str, str]] = None,
     ) -> "Frame":
         self.kind = kind
         self.gen = None
@@ -109,12 +137,18 @@ class Frame:
         self.owner = owner
         self.module = module
         self.function = function
-        self.mf_label = (module, function)
+        self.mf_label = mf_label if mf_label is not None else (module, function)
         self.gen_started = False
         self.run_end = None  # EventHandle of the active Run segment
         self.run_remaining = 0  # unconsumed cycles of a paused Run
         self.run_label: Optional[Tuple[str, str]] = None
         self.send_value = None
+        # Compiled-segment execution state (see _advance_segments).
+        self.seg_factory = None  # deferred body factory (called at exec time)
+        self.seg_args = ()
+        self.segs = None  # the Segments tuple once entered
+        self.seg_index = 0  # cursor: next segment to start (or running)
+        self.seg_running = False  # segments[seg_index] has an active Run
         return self
 
     @property
@@ -171,6 +205,7 @@ class Kernel:
         self._dpc_dispatch_cost = self.costs.dpc_dispatch
         self._context_switch_cost = self.costs.context_switch
         self._quantum_cycles = self.costs.quantum
+        self._ms_to_cycles = self.clock.ms_to_cycles  # hot in _advance_segments
         self.stats = KernelStats()
         #: Free-list of finished ISR/DPC frames (thread frames live as long
         #: as their thread and are never pooled).  A recycled frame has been
@@ -180,16 +215,34 @@ class Kernel:
         self.isr_stack: List[Frame] = []
         self.dpc_frame: Optional[Frame] = None
         self.dpc_queue = DpcQueue()
+        # Live aliases of the PIC's pending list and the DPC queue's deque:
+        # both objects are mutated in place and never reassigned, so the
+        # hot-path emptiness checks ("anything pending at all?") become a
+        # C-level truth test instead of a method call.
+        self._pending_vectors = machine.pic._pending_vectors
+        self._dpc_deque = self.dpc_queue._queue
         self.ready = ReadyQueues()
         self.current_thread: Optional[KThread] = None
         self.threads: List[KThread] = []
 
         self._isr_factories: Dict[str, IsrFactory] = {}
+        #: vector name -> factory is segments-compiled (see requests.segments_body);
+        #: cached at connect time so _deliver avoids a per-delivery getattr.
+        self._isr_compiled: Dict[str, bool] = {}
         self._isr_fn_names: Dict[str, str] = {}  # vector name -> "_<name>_isr"
+        #: vector name -> (factory, compiled, fn_name, ("HAL", fn_name)):
+        #: everything _deliver needs in a single dict probe.
+        self._isr_info: Dict[str, tuple] = {}
         self._timers: List[KTimer] = []
         self._pit_hooks: List[Callable[["Kernel", int], None]] = []
         self._sched_point_pending = False
         self._int_poll_pending = False
+        #: True while kernel frame machinery (a run-completion, deferred
+        #: poll, schedule point, quantum fire or wait timeout) is on the
+        #: call stack.  Interrupt assertions that arrive then must defer
+        #: delivery to a zero-time event; assertions from plain device
+        #: callbacks deliver synchronously (see _interrupt_asserted).
+        self._in_kernel = False
         self._quantum_handle = None
         self._booted = False
         #: Set when kernel-mode code faulted (see :class:`BugCheck`).
@@ -203,7 +256,10 @@ class Kernel:
         # an ISR body asserts another device's line); delivery must wait
         # until the current event callback unwinds, so the hook defers to a
         # zero-time engine event rather than delivering synchronously.
-        self.pic.delivery_hook = self._request_interrupt_poll
+        # Assertions from plain hardware callbacks (PIT tick, device
+        # completion, intrusion fire) have no frame state on the stack and
+        # skip the deferral event entirely.
+        self.pic.delivery_hook = self._interrupt_asserted
 
     # ==================================================================
     # Boot
@@ -220,11 +276,34 @@ class Kernel:
     # Public kernel services (zero simulated time; call between yields)
     # ==================================================================
     def connect_interrupt(self, vector_name: str, factory: IsrFactory) -> None:
-        """``IoConnectInterrupt``: attach an ISR factory to a vector."""
+        """``IoConnectInterrupt``: attach an ISR factory to a vector.
+
+        ``factory`` is normally a callable; a :class:`Segments` tuple may be
+        passed directly for bodies whose factory would be a side-effect-free
+        constant (the delivery path then installs the tuple on the frame
+        without a factory trampoline; costs are still resolved at segment
+        start, so RNG draw order is unchanged).
+        """
         self.pic.vector(vector_name)  # validates existence
         if vector_name in self._isr_factories:
             raise KernelError(f"vector {vector_name!r} already connected")
         self._isr_factories[vector_name] = factory
+        if isinstance(factory, Segments):
+            compiled = True
+            const_segs = factory
+        else:
+            compiled = bool(getattr(factory, "__wdm_segments__", False))
+            const_segs = None
+        self._isr_compiled[vector_name] = compiled
+        fn_name = f"_{vector_name}_isr"
+        self._isr_fn_names[vector_name] = fn_name
+        self._isr_info[vector_name] = (
+            factory,
+            compiled,
+            fn_name,
+            ("HAL", fn_name),
+            const_segs,
+        )
 
     def register_intrusion_vector(self, name: str, irql: int, latency_us: float = 0.5) -> str:
         """Register a synthetic vector for injected kernel activity.
@@ -339,7 +418,12 @@ class Kernel:
         inserted = self.dpc_queue.insert(dpc, self.engine.now, context)
         if inserted:
             dpc.enqueue_clock_assert = self.last_clock_assert
-            self._request_schedule_point()
+            # From ISR/DPC context the unwind at frame completion starts
+            # the drain; a deferred schedule point would fire while the
+            # frame is still active and no-op.  Only thread/setup context
+            # needs the zero-time dispatcher check.
+            if not self.isr_stack and self.dpc_frame is None:
+                self._request_schedule_point()
         return inserted
 
     def create_timer(self, name: str = "") -> KTimer:
@@ -475,6 +559,30 @@ class Kernel:
     # ==================================================================
     # Interrupt delivery
     # ==================================================================
+    def _interrupt_asserted(self) -> None:
+        """PIC delivery hook: deliver now if safe, else defer one event.
+
+        When kernel frame machinery is mid-step the assertion must wait for
+        the current event callback to unwind (a zero-time engine event);
+        from a plain hardware callback the frames are all at rest and the
+        interrupt can be delivered synchronously, skipping the event.
+        """
+        if self._in_kernel:
+            if not self._int_poll_pending:
+                self._int_poll_pending = True
+                # Inlined engine.post_at(now, ...): "now" can never be in
+                # the past, so the guard is pure overhead here.
+                engine = self.engine
+                seq = engine._seq + 1
+                engine._seq = seq
+                heappush(
+                    engine._heap, [engine.now, seq, self._deferred_interrupt_poll, (), 0]
+                )
+            return
+        self._in_kernel = True
+        self._poll_interrupts()
+        self._in_kernel = False
+
     def _request_interrupt_poll(self) -> None:
         if self._int_poll_pending:
             return
@@ -483,7 +591,9 @@ class Kernel:
 
     def _deferred_interrupt_poll(self) -> None:
         self._int_poll_pending = False
+        self._in_kernel = True
         self._poll_interrupts()
+        self._in_kernel = False
 
     def _poll_interrupts(self) -> bool:
         """Deliver the best pending interrupt if the CPU can take it now.
@@ -493,6 +603,8 @@ class Kernel:
         :meth:`_running_frame` and :meth:`current_irql` separately, and the
         active-Run pending check reads the heap-entry state slot directly.
         """
+        if not self._pending_vectors:
+            return False
         isr_stack = self.isr_stack
         if isr_stack:
             frame = isr_stack[-1]
@@ -510,31 +622,67 @@ class Kernel:
             run_end = frame.run_end
             if run_end is not None and run_end[_RUN_STATE] == _RUN_PENDING:
                 return False
-        vector = self.pic.highest_pending(irql)
-        if vector is None:
-            return False
-        self._deliver(vector)
+        pending = self._pending_vectors
+        if len(pending) == 1:
+            # highest_pending's single-line fast path, inlined (the common
+            # case under load; one call saved per poll).
+            vector = pending[0]
+            if vector.irql <= irql:
+                return False
+        else:
+            vector = self.pic.highest_pending(irql)
+            if vector is None:
+                return False
+        self._deliver(vector, frame)
         return True
 
-    def _deliver(self, vector: InterruptVector) -> None:
-        asserted_at = self.pic.acknowledge(vector.name)
-        running = self._running_frame()
+    def _deliver(self, vector: InterruptVector, running: Optional[Frame]) -> None:
+        """Deliver ``vector``, preempting ``running`` (the current frame).
+
+        ``running`` is the frame _poll_interrupts already resolved during
+        its IRQL walk -- the only caller -- so the walk is not repeated.
+        """
+        # acknowledge_vector, inlined: _poll_interrupts only hands over
+        # vectors it found on the pending list.
+        asserted_at = vector.asserted_at
+        vector.asserted_at = None
+        self._pending_vectors.remove(vector)
         if running is not None:
             self._pause_run(running)
-        factory = self._isr_factories.get(vector.name)
-        if factory is None:
-            # Spurious/unconnected interrupt: swallow with a tiny HAL cost.
-            factory = _spurious_isr_factory
         name = vector.name
-        fn_name = self._isr_fn_names.get(name)
-        if fn_name is None:
-            fn_name = self._isr_fn_names[name] = f"_{name}_isr"
+        info = self._isr_info.get(name)
+        if info is None:
+            # Spurious/unconnected interrupt: swallow with a tiny HAL cost.
+            fn_name = self._isr_fn_names.get(name)
+            if fn_name is None:
+                fn_name = self._isr_fn_names[name] = f"_{name}_isr"
+            info = self._isr_info[name] = (
+                _spurious_isr_factory,
+                False,
+                fn_name,
+                ("HAL", fn_name),
+                None,
+            )
+        factory, compiled, fn_name, mf_label, const_segs = info
         pool = self._frame_pool
         if pool:
-            frame = pool.pop().reset(FrameKind.ISR, vector.irql, vector, "HAL", fn_name)
+            frame = pool.pop().reset(
+                FrameKind.ISR, vector.irql, vector, "HAL", fn_name, mf_label
+            )
         else:
             frame = Frame(FrameKind.ISR, vector.irql, vector, "HAL", fn_name)
-        frame.gen = factory(self, vector, asserted_at)
+        if const_segs is not None:
+            # Side-effect-free constant body: install the tuple directly
+            # (reset left seg_index=0, seg_running=False).
+            frame.segs = const_segs
+        elif compiled:
+            # Defer the factory call to the frame's first instruction so
+            # its side effects run at the same simulated instant a
+            # generator body's first send would have.
+            frame.seg_factory = factory
+            frame.seg_args = (self, vector, asserted_at)
+        else:
+            frame.gen = factory(self, vector, asserted_at)
         isr_stack = self.isr_stack
         isr_stack.append(frame)
         stats = self.stats
@@ -547,11 +695,16 @@ class Kernel:
         if trace.enabled:
             trace.emit(self.engine.now, "irq", f"deliver {name}", irql=vector.irql)
         # Charge the residual hardware latency plus software dispatch cost
-        # before the ISR's first instruction executes.
+        # before the ISR's first instruction executes (fresh frame, so
+        # _resume_frame's run_remaining term is zero and is skipped).
         hw_residual = asserted_at + vector.latency_cycles - self.engine.now
         if hw_residual < 0:
             hw_residual = 0
-        self._resume_frame(frame, extra_cycles=hw_residual + self._isr_dispatch_cost)
+        cycles = hw_residual + self._isr_dispatch_cost
+        if cycles > 0:
+            self._begin_run(frame, cycles, False, None)
+        else:
+            self._continue_frame(frame)
 
     # ==================================================================
     # Frame execution machinery
@@ -563,16 +716,43 @@ class Kernel:
     def _begin_run(self, frame: Frame, cycles: int, cli: bool, label) -> None:
         frame.run_label = label
         self._run_cli = cli
-        frame.run_end = self.engine.schedule_in(cycles, self._run_complete, frame)
-        if not cli:
+        # Inlined engine.schedule_in: callers guarantee cycles > 0, so the
+        # negative-delay guard is dead weight on the hottest call site in
+        # the simulator (one per run segment).
+        if cycles.__class__ is not int:
+            cycles = int(cycles)
+        engine = self.engine
+        seq = engine._seq + 1
+        engine._seq = seq
+        handle = frame.run_entry
+        if handle is not None and handle[_RUN_STATE] == _RUN_FIRED:
+            # The frame's previous run-end fired, so the entry is out of
+            # the heap with fn/args intact: recycle it (zero allocations).
+            # Cancelled entries are still *in* the heap awaiting lazy
+            # discard and cannot be reused.
+            handle[_RUN_TIME] = engine.now + cycles
+            handle[_RUN_SEQ] = seq
+            handle[_RUN_STATE] = _RUN_PENDING
+        else:
+            frame.run_entry = handle = EventHandle(
+                (engine.now + cycles, seq, self._run_complete, (frame,), 0, engine)
+            )
+        frame.run_end = handle
+        heappush(engine._heap, handle)
+        if not cli and self._pending_vectors:
             # A pending higher-IRQL interrupt may preempt immediately.
             self._poll_interrupts()
 
     def _pause_run(self, frame: Frame) -> None:
         handle = frame.run_end
-        if handle is not None and handle.pending:
-            frame.run_remaining += handle.time - self.engine.now
-            handle.cancel()
+        if handle is not None and handle[_RUN_STATE] == _RUN_PENDING:
+            engine = self.engine
+            frame.run_remaining += handle[_RUN_TIME] - engine.now
+            # handle.cancel(), inlined (hot: once per preemption).
+            handle[_RUN_STATE] = _RUN_CANCELLED
+            handle[_RUN_FN] = None
+            handle[_RUN_ARGS] = ()
+            engine._dead += 1
         frame.run_end = None
 
     def _resume_frame(self, frame: Frame, extra_cycles: int = 0) -> None:
@@ -585,6 +765,7 @@ class Kernel:
             self._continue_frame(frame)
 
     def _run_complete(self, frame: Frame) -> None:
+        self._in_kernel = True
         frame.run_end = None
         self._run_cli = False
         if frame.kind is FrameKind.THREAD:
@@ -592,13 +773,136 @@ class Kernel:
             # Quantum may have expired while this segment was in a cli
             # region or while interrupts had the CPU.
             if self._maybe_rotate_quantum(thread):
+                self._in_kernel = False
                 return
-        self._continue_frame(frame)
+        # _continue_frame, inlined: this callback fires once per completed
+        # run segment and the extra call frame showed up in profiles.
+        segs = frame.segs
+        if segs is not None:
+            self._advance_segments(frame, segs)
+        elif frame.seg_factory is not None:
+            self._enter_segments(frame)
+        else:
+            if not frame.gen_started:
+                frame.gen_started = True
+            self._drive(frame)
+        self._in_kernel = False
 
     def _continue_frame(self, frame: Frame) -> None:
+        segs = frame.segs
+        if segs is not None:
+            self._advance_segments(frame, segs)
+            return
+        if frame.seg_factory is not None:
+            self._enter_segments(frame)
+            return
         if not frame.gen_started:
             frame.gen_started = True
         self._drive(frame)
+
+    # -- compiled-segment execution (see requests.Segments) ------------
+    def _enter_segments(self, frame: Frame) -> None:
+        """First instruction of a compiled frame: materialise its Segments.
+
+        Runs the deferred body factory (timestamping, request decoding --
+        whatever the generator's first send would have executed) and starts
+        walking the descriptor tuple.
+        """
+        factory = frame.seg_factory
+        args = frame.seg_args
+        frame.seg_factory = None
+        frame.seg_args = ()
+        try:
+            segs = factory(*args)
+        except (KernelError, BugCheck):
+            raise
+        except Exception as exc:
+            self.bugchecked = True
+            raise BugCheck(
+                stop_code=f"KMODE_EXCEPTION_NOT_HANDLED({type(exc).__name__})",
+                context=frame.label,
+                at_cycles=self.engine.now,
+            ) from exc
+        frame.segs = segs
+        frame.seg_index = 0
+        frame.seg_running = False
+        self._advance_segments(frame, segs)
+
+    def _advance_segments(self, frame: Frame, segs) -> None:
+        """Walk a compiled body's segment descriptors.
+
+        The compiled counterpart of :meth:`_drive`: one ``_begin_run`` per
+        segment, cursor state on the frame, costs resolved (fixed cycles,
+        distribution sample, or callable) at segment start.  Preemption
+        pauses the active Run exactly as on the generator path; this method
+        only runs at genuine segment boundaries.
+        """
+        i = frame.seg_index
+        n = len(segs)
+        try:
+            if frame.seg_running:
+                # The segment whose Run just completed: fire its after-hook
+                # (the code between this yield and the next) and move on.
+                frame.seg_running = False
+                after = segs[i].after
+                i += 1
+                frame.seg_index = i
+                if after is not None:
+                    after()
+            while i < n:
+                seg = segs[i]
+                cycles = seg.cycles
+                if cycles is None:
+                    sample = seg.sample
+                    if sample is not None:
+                        cycles = self._ms_to_cycles(sample(seg.dist))
+                    elif seg.dist is not None:
+                        cycles = self._ms_to_cycles(seg.dist.sample_ms(seg.rng))
+                    else:
+                        cycles = seg.cost_fn()
+                if cycles > 0:
+                    frame.seg_index = i
+                    frame.seg_running = True
+                    # _begin_run, inlined (the hottest begin site: one per
+                    # compiled segment).  Kept in lockstep with _begin_run.
+                    frame.run_label = seg.label
+                    cli = seg.cli
+                    self._run_cli = cli
+                    if cycles.__class__ is not int:
+                        cycles = int(cycles)
+                    engine = self.engine
+                    seq = engine._seq + 1
+                    engine._seq = seq
+                    handle = frame.run_entry
+                    if handle is not None and handle[_RUN_STATE] == _RUN_FIRED:
+                        handle[_RUN_TIME] = engine.now + cycles
+                        handle[_RUN_SEQ] = seq
+                        handle[_RUN_STATE] = _RUN_PENDING
+                    else:
+                        frame.run_entry = handle = EventHandle(
+                            (engine.now + cycles, seq, self._run_complete, (frame,), 0, engine)
+                        )
+                    frame.run_end = handle
+                    heappush(engine._heap, handle)
+                    if not cli and self._pending_vectors:
+                        self._poll_interrupts()
+                    return
+                after = seg.after
+                i += 1
+                frame.seg_index = i
+                if after is not None:
+                    after()
+        except (KernelError, BugCheck):
+            raise
+        except Exception as exc:
+            # A fault in kernel-mode code does not unwind: bugcheck.
+            self.bugchecked = True
+            raise BugCheck(
+                stop_code=f"KMODE_EXCEPTION_NOT_HANDLED({type(exc).__name__})",
+                context=frame.label,
+                at_cycles=self.engine.now,
+            ) from exc
+        self._frame_finished(frame)
 
     def _drive(self, frame: Frame) -> None:
         """Advance ``frame``'s generator until it runs, blocks or finishes."""
@@ -652,15 +956,33 @@ class Kernel:
             # then reuses it without allocating.
             frame.gen = None
             frame.owner = None
+            frame.segs = None
             self._frame_pool.append(frame)
-            self._unwind()
+            # _unwind, inlined (hot: once per ISR).
+            if self._pending_vectors and self._poll_interrupts():
+                return
+            isr_stack = self.isr_stack
+            if isr_stack:
+                self._resume_frame(isr_stack[-1])
+                return
+            if self.dpc_frame is not None or self._dpc_deque:
+                if self._maybe_start_dpc_drain():
+                    return
+            self._dispatch()
         elif frame.kind is FrameKind.DPC:
             self.dpc_frame = None
             self.stats.dpcs_executed += 1
             frame.gen = None
             frame.owner = None
+            frame.segs = None
             self._frame_pool.append(frame)
-            self._unwind()
+            # _unwind, inlined (hot: once per DPC); the ISR stack is
+            # necessarily empty below a draining DPC frame.
+            if self._pending_vectors and self._poll_interrupts():
+                return
+            if self._dpc_deque and self._maybe_start_dpc_drain():
+                return
+            self._dispatch()
         else:
             thread: KThread = frame.owner
             thread.state = ThreadState.TERMINATED
@@ -673,13 +995,15 @@ class Kernel:
 
     def _unwind(self) -> None:
         """After any frame transition: interrupts, then DPCs, then threads."""
-        if self._poll_interrupts():
+        if self._pending_vectors and self._poll_interrupts():
             return
-        if self.isr_stack:
-            self._resume_frame(self.isr_stack[-1])
+        isr_stack = self.isr_stack
+        if isr_stack:
+            self._resume_frame(isr_stack[-1])
             return
-        if self._maybe_start_dpc_drain():
-            return
+        if self.dpc_frame is not None or self._dpc_deque:
+            if self._maybe_start_dpc_drain():
+                return
         self._dispatch()
 
     # ==================================================================
@@ -698,20 +1022,40 @@ class Kernel:
         if self.dpc_frame is not None:
             self._resume_frame(self.dpc_frame)
             return True
-        if not self.dpc_queue or self._dpc_blocked_by_thread():
+        if not self._dpc_deque:
             return False
-        if self.current_thread is not None:
-            self._pause_run(self.current_thread.frame)
-        dpc = self.dpc_queue.pop()
-        assert dpc is not None
+        # _dpc_blocked_by_thread, inlined (hot: once per drain attempt).
+        cur = self.current_thread
+        if (
+            cur is not None
+            and cur.frame.irql >= irql_mod.DISPATCH_LEVEL
+            and cur.state is ThreadState.RUNNING
+        ):
+            return False
+        if cur is not None:
+            self._pause_run(cur.frame)
+        # dpc_queue.pop(), inlined (the deque is known non-empty here).
+        dpc = self._dpc_deque.popleft()
+        dpc.queued = False
         pool = self._frame_pool
         if pool:
             frame = pool.pop().reset(
-                FrameKind.DPC, irql_mod.DISPATCH_LEVEL, dpc, dpc.module, dpc.name
+                FrameKind.DPC, irql_mod.DISPATCH_LEVEL, dpc, dpc.module, dpc.name, dpc.mf_label
             )
         else:
             frame = Frame(FrameKind.DPC, irql_mod.DISPATCH_LEVEL, dpc, dpc.module, dpc.name)
-        frame.gen = self._dpc_body(dpc)
+        const_segs = dpc.const_segs
+        if const_segs is not None:
+            # Constant compiled body: run_count is a pure counter, so the
+            # bump can move from exec time to here without observable
+            # effect; the tuple goes straight onto the frame.
+            dpc.run_count += 1
+            frame.segs = const_segs
+        elif dpc.compiled:
+            frame.seg_factory = self._compiled_dpc_enter
+            frame.seg_args = (dpc,)
+        else:
+            frame.gen = self._dpc_body(dpc)
         self.dpc_frame = frame
         if self.trace.enabled:
             self.trace.emit(self.engine.now, "dpc", f"run {dpc.name}")
@@ -725,6 +1069,16 @@ class Kernel:
             yield_from_target = routine
             for item in yield_from_target:
                 yield item
+
+    def _compiled_dpc_enter(self, dpc: Dpc):
+        """Exec-time entry for a segments-compiled DPC routine.
+
+        Mirrors :meth:`_dpc_body`'s first send: bump ``run_count`` and call
+        the routine (whose side effects -- timestamps, KeSetEvent -- run
+        now, after the DPC dispatch cost), returning its Segments.
+        """
+        dpc.run_count += 1
+        return dpc.routine(self, dpc)
 
     # ==================================================================
     # Waits and wakes
@@ -795,11 +1149,13 @@ class Kernel:
     def _wait_timeout(self, thread: KThread) -> None:
         if thread.state is not ThreadState.WAITING:
             return
+        self._in_kernel = True
         for obj in self._objects_thread_waits_on(thread):
             obj.remove_waiter(thread)
         thread.wait_timeout_handle = None
         self.stats.wait_timeouts += 1
         self._make_ready(thread, WaitStatus.TIMEOUT, wake_obj=None)
+        self._in_kernel = False
 
     def _release_waiters(self, obj: DispatcherObject) -> None:
         woken = obj.take_waiters_to_wake()
@@ -840,7 +1196,11 @@ class Kernel:
         self.ready.enqueue(thread)
         if self.trace.enabled:
             self.trace.emit(self.engine.now, "thread", f"ready {thread.name}")
-        self._request_schedule_point()
+        # Same elision as queue_dpc: while an ISR or DPC frame is active
+        # the unwind re-runs the dispatcher, so the deferred schedule point
+        # would be a guaranteed no-op.
+        if not self.isr_stack and self.dpc_frame is None:
+            self._request_schedule_point()
 
     # ==================================================================
     # Scheduling
@@ -856,18 +1216,18 @@ class Kernel:
         self._sched_point_pending = False
         if self.isr_stack or self.dpc_frame is not None:
             return  # interrupt unwind will re-evaluate
+        self._in_kernel = True
         cur = self.current_thread
-        if self.dpc_queue and not self._dpc_blocked_by_thread():
+        if self._dpc_deque and not self._dpc_blocked_by_thread():
             self._maybe_start_dpc_drain()
-            return
-        if cur is None:
+        elif cur is None:
             self._dispatch()
-            return
-        if cur.frame.irql >= irql_mod.DISPATCH_LEVEL:
-            return  # raised-IRQL thread is not preemptible by the scheduler
-        if self.ready.highest_priority() > cur.priority:
+        elif cur.frame.irql >= irql_mod.DISPATCH_LEVEL:
+            pass  # raised-IRQL thread is not preemptible by the scheduler
+        elif self.ready._mask.bit_length() - 1 > cur.priority:
             self._pause_run(cur.frame)
             self._dispatch()
+        self._in_kernel = False
 
     def _dispatch(self) -> None:
         """Pick the next thread.  ISR stack and DPC frame must be idle."""
@@ -878,7 +1238,8 @@ class Kernel:
         if cur is not None and cur.frame.irql >= irql_mod.DISPATCH_LEVEL:
             self._resume_frame(cur.frame)
             return
-        top = self.ready.highest_priority()
+        # highest_priority(), inlined (hot: every dispatch).
+        top = self.ready._mask.bit_length() - 1
         if cur is None:
             if top < 0:
                 self.stats.idle_entries += 1
@@ -941,6 +1302,7 @@ class Kernel:
         if thread.frame.irql >= irql_mod.DISPATCH_LEVEL:
             thread.quantum_expired_flag = True
             return
+        self._in_kernel = True
         if self.ready.has_ready_at(thread.priority) or thread.priority > thread.base_priority:
             # Rotate among peers, or let an expired boost decay a level
             # (which may itself surrender the CPU to a newly-equal peer).
@@ -948,6 +1310,7 @@ class Kernel:
             self._rotate_quantum(thread)
         else:
             self._start_quantum(thread)
+        self._in_kernel = False
 
     def _rotate_quantum(self, thread: KThread) -> None:
         """Round-robin: expired thread to the tail of its priority level."""

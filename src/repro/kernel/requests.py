@@ -10,12 +10,17 @@ caller and are therefore yields:
 Everything else (``KeSetEvent``, ``KeInsertQueueDpc``, ``KeSetTimer``,
 reading the TSC, ...) takes zero simulated time and is invoked as a direct
 method call on the :class:`repro.kernel.kernel.Kernel` between yields.
+
+Straight-line bodies (no :class:`Wait`) may instead return a
+:class:`Segments` descriptor tuple, which the kernel executes without the
+generator trampoline -- see :func:`segments_body` and
+``docs/ARCHITECTURE.md`` ("Frame execution model").
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 
 @dataclass(frozen=True)
@@ -41,6 +46,100 @@ class Run:
     def __post_init__(self):
         if self.cycles < 0:
             raise ValueError(f"Run cycles must be non-negative, got {self.cycles}")
+
+
+class Segment:
+    """One straight-line run segment of a compiled kernel body.
+
+    The declarative equivalent of ``yield Run(...)``: where a generator
+    body computes its cycle count and yields, a compiled body describes the
+    segment up front and the kernel resolves the cost when the segment
+    *starts executing* -- the same simulated instant the generator's
+    ``send`` would have run the sampling code, so RNG stream order is
+    preserved exactly.
+
+    ``cost`` is one of:
+
+    * an ``int`` -- a fixed cycle count, resolved as-is;
+    * a :class:`~repro.sim.rng.DurationDistribution` -- sampled (in
+      milliseconds, via ``rng``) at segment start and converted to cycles;
+    * a zero-argument callable returning a cycle count -- for costs that
+      depend on mutable state (e.g. an intrusion duration sampled at fire
+      time).
+
+    ``after`` is an optional zero-argument hook called in zero simulated
+    time when the segment's cycles have fully elapsed -- the code a
+    generator body would run between this ``yield`` and the next (e.g.
+    ``queue_dpc``).  It must not block.
+    """
+
+    __slots__ = ("cycles", "dist", "rng", "sample", "cost_fn", "cli", "label", "after")
+
+    def __init__(
+        self,
+        cost,
+        cli: bool = False,
+        label: Optional[tuple] = None,
+        rng=None,
+        after: Optional[Callable[[], None]] = None,
+    ):
+        self.sample = None
+        if cost.__class__ is int:
+            if cost < 0:
+                raise ValueError(f"Segment cycles must be non-negative, got {cost}")
+            self.cycles: Optional[int] = cost
+            self.dist = None
+            self.cost_fn = None
+        elif callable(cost):
+            self.cycles = None
+            self.dist = None
+            self.cost_fn = cost
+        else:  # a DurationDistribution (anything with sample_ms)
+            if rng is None:
+                raise ValueError("Segment with a distribution cost needs an rng")
+            if not hasattr(cost, "sample_ms"):
+                raise TypeError(f"unsupported Segment cost {cost!r}")
+            self.cycles = None
+            self.dist = cost
+            self.cost_fn = None
+            # Pre-bound sampler: rng.sample_ms_fast(dist) without the
+            # per-draw sample_ms wrapper hop (identical variates).
+            self.sample = getattr(rng, "sample_ms_fast", None)
+        self.rng = rng
+        self.cli = cli
+        self.label = label
+        self.after = after
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        cost = self.cycles if self.cycles is not None else (self.dist or self.cost_fn)
+        return f"<Segment cost={cost!r} cli={self.cli} label={self.label}>"
+
+
+class Segments(tuple):
+    """A compiled kernel body: an ordered tuple of :class:`Segment`.
+
+    Returned (instead of a generator) by ISR factories and DPC routines
+    marked with :func:`segments_body`.  The kernel walks the tuple with a
+    cursor on the frame -- no ``gen.send``, no per-segment :class:`Run`
+    allocation -- while keeping preemption points and IRQL semantics
+    identical to the generator path.  Bodies that need :class:`Wait` (or
+    data-dependent control flow) keep using generators.
+    """
+
+    __slots__ = ()
+
+
+def segments_body(fn):
+    """Mark an ISR factory or DPC routine as returning :class:`Segments`.
+
+    The kernel calls marked factories at *execution* time (the first
+    instruction of the frame, after dispatch cost), not at delivery time --
+    matching when a generator body's first ``send`` would run.  Side
+    effects inside the factory therefore happen at the same simulated
+    instant as in the equivalent generator body.
+    """
+    fn.__wdm_segments__ = True
+    return fn
 
 
 @dataclass(frozen=True)

@@ -248,6 +248,29 @@ class Engine:
         self._seq = seq
         heappush(self._heap, [self.now + delay, seq, fn, args, 0])
 
+    def repost_in(self, entry: list, delay: int) -> None:
+        """Re-arm a self-rescheduling event's own heap entry.
+
+        For callbacks that re-post themselves on every fire (Poisson
+        arrival sources): the bare-list entry the run loop just popped is
+        rewritten in place and pushed back, so a steady source costs no
+        list/tuple allocations per event.  The caller must own ``entry``
+        (``[time, seq, fn, args, state]``) and may only call this while
+        the entry is out of the heap -- i.e. from the entry's own callback
+        or before first arming.  Sequence numbers are allocated exactly as
+        :meth:`post_in` would, so event ordering is unchanged.
+        """
+        if delay.__class__ is not int:
+            delay = int(delay)
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        seq = self._seq + 1
+        self._seq = seq
+        entry[_TIME] = self.now + delay
+        entry[_SEQ] = seq
+        entry[_STATE] = _PENDING
+        heappush(self._heap, entry)
+
     def schedule_periodic(
         self, period: int, fn: Callable[[], Any], start: bool = True
     ) -> PeriodicHandle:

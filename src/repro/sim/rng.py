@@ -19,6 +19,8 @@ import hashlib
 import math
 import random
 from dataclasses import dataclass
+from math import exp as _exp, log as _log
+from random import NV_MAGICCONST as _NV_MAGICCONST
 from typing import Optional
 
 
@@ -42,7 +44,16 @@ class RngStream:
     def __init__(self, seed: int, name: str = "root"):
         self.seed = seed
         self.name = name
-        self._rng = random.Random(_derive_seed(seed, name))
+        self._rng = rng = random.Random(_derive_seed(seed, name))
+        # Bound-method cache: hot callers (DurationDistribution.sample_ms,
+        # pre-drawn arrival blocks) go through these to skip the wrapper
+        # frame and the per-call attribute chain.  ``random`` is shadowed
+        # by the underlying generator's bound method -- same callable
+        # surface, one hop fewer.
+        self.random = rng.random
+        self._lognormvariate = rng.lognormvariate
+        self._paretovariate = rng.paretovariate
+        self._expovariate = rng.expovariate
 
     def child(self, name: str) -> "RngStream":
         """Create an independent sub-stream (``parent.name/name``)."""
@@ -88,6 +99,37 @@ class RngStream:
             raise ValueError(f"invalid Pareto parameters xm={xm} alpha={alpha}")
         return xm * (1.0 + self._rng.paretovariate(alpha) - 1.0)
 
+    def sample_ms_fast(self, dist: "DurationDistribution") -> float:
+        """Hot-path duration draw: identical variates to ``dist.sample_ms``.
+
+        Uses the distribution's cached log-space parameters and this
+        stream's cached bound methods; the draw sequence, the floating-point
+        arithmetic (including the historical ``xm * (1.0 + p - 1.0)``
+        Pareto form) and the clamp are bit-for-bit those of the original
+        ``sample_ms``, so RNG streams are unchanged.
+        """
+        if dist.tail_prob > 0.0 and self.random() < dist.tail_prob:
+            value = dist.tail_scale_ms * (1.0 + self._paretovariate(dist.tail_alpha) - 1.0)
+        else:
+            # Random.lognormvariate == exp(normalvariate(mu, sigma)),
+            # inlined: the Kinderman-Monahan loop below is copied from
+            # CPython's random.py (same constant, same expression order),
+            # so the underlying random() consumption and the produced
+            # float are bit-identical to the library call.
+            rand = self.random
+            while True:
+                u1 = rand()
+                u2 = 1.0 - rand()
+                z = _NV_MAGICCONST * (u1 - 0.5) / u2
+                if z * z / 4.0 <= -_log(u2):
+                    break
+            value = _exp(dist._log_body_median + z * dist.body_sigma)
+        max_ms = dist.max_ms
+        if value > max_ms:
+            return max_ms
+        min_ms = dist.min_ms
+        return min_ms if value < min_ms else value
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<RngStream {self.name!r} seed={self.seed}>"
 
@@ -130,14 +172,14 @@ class DurationDistribution:
             raise ValueError(f"tail_prob must be in [0, 1], got {self.tail_prob}")
         if self.min_ms < 0 or self.max_ms <= self.min_ms:
             raise ValueError(f"invalid clamp range [{self.min_ms}, {self.max_ms}]")
+        # Log-space body parameter, cached once: sample_ms used to pay a
+        # math.log(median) on every draw.  The dataclass is frozen, so the
+        # derived field goes in via object.__setattr__.
+        object.__setattr__(self, "_log_body_median", math.log(self.body_median_ms))
 
     def sample_ms(self, rng: RngStream) -> float:
         """Draw one duration in milliseconds."""
-        if self.tail_prob > 0.0 and rng.random() < self.tail_prob:
-            value = rng.pareto(self.tail_scale_ms, self.tail_alpha)
-        else:
-            value = rng.lognormal(self.body_median_ms, self.body_sigma)
-        return min(self.max_ms, max(self.min_ms, value))
+        return rng.sample_ms_fast(self)
 
     def scaled(self, factor: float) -> "DurationDistribution":
         """Return a copy with all magnitudes multiplied by ``factor``.

@@ -1,11 +1,12 @@
 """Golden-fingerprint regression tests for the dispatch fast path.
 
 The kernel hot-path optimisations (Frame free-list, PIC pending list,
-columnar sample recording) must not change *what* the simulator computes,
-only how fast.  These tests hash the full sample column stream of one
-loaded Windows 98 cell and one loaded NT 4.0 cell against fingerprints
-captured from the pre-optimisation kernel; any behavioural drift in
-delivery order, IRQL bookkeeping, timer arithmetic or sample recording
+columnar sample recording, segment-compiled frame execution, batched RNG
+draws) must not change *what* the simulator computes, only how fast.
+These tests hash the full sample column stream of all four loaded
+OS x workload corner cells against fingerprints captured from the
+pre-optimisation kernel; any behavioural drift in delivery order, IRQL
+bookkeeping, timer arithmetic, RNG stream order or sample recording
 changes the hash.
 
 If a fingerprint mismatch is *intended* (a deliberate simulator behaviour
@@ -37,6 +38,14 @@ GOLDEN_FINGERPRINTS = {
     ("nt4", "office"): (
         3508,
         "b6786d1251c47fb58fda153124a77b6150beb410f68e9dabd77442ce6cf75203",
+    ),
+    ("win98", "office"): (
+        3524,
+        "1b09ec08ae7dcf71dbbbee69c0fda91f9281e1fd915363923d71522cf1aa4223",
+    ),
+    ("nt4", "games"): (
+        931,
+        "fa395d856922bfbcfffa93ff3385ef6527a4173aea3198ddd22557bff785f909",
     ),
 }
 

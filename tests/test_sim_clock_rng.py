@@ -1,11 +1,79 @@
 """Clock conversions, RNG streams and duration distributions."""
 
 import math
+import random
 
 import pytest
 
 from repro.sim.clock import CpuClock, PENTIUM_II_300
-from repro.sim.rng import DurationDistribution, RngStream, sample_or_fixed
+from repro.sim.rng import DurationDistribution, RngStream, _derive_seed, sample_or_fixed
+
+
+def _reference_sample_ms(dist: DurationDistribution, rng: random.Random) -> float:
+    """The pre-fast-path ``sample_ms``, verbatim: library ``lognormvariate``
+    and ``paretovariate`` calls with ``math.log(median)`` recomputed per
+    draw.  The fast path must match this bit-for-bit, draw-for-draw."""
+    if dist.tail_prob > 0.0 and rng.random() < dist.tail_prob:
+        value = dist.tail_scale_ms * (1.0 + rng.paretovariate(dist.tail_alpha) - 1.0)
+    else:
+        value = rng.lognormvariate(math.log(dist.body_median_ms), dist.body_sigma)
+    if value > dist.max_ms:
+        return dist.max_ms
+    if value < dist.min_ms:
+        return dist.min_ms
+    return value
+
+
+class TestSampleFastPathEquivalence:
+    """sample_ms_fast (cached log-median, cached bound methods, inlined
+    Kinderman-Monahan normal loop) must produce the *identical* variate
+    stream to the original library-call implementation."""
+
+    DISTS = [
+        DurationDistribution(body_median_ms=0.05, body_sigma=0.8),
+        DurationDistribution(
+            body_median_ms=0.2,
+            body_sigma=1.2,
+            tail_prob=0.25,
+            tail_scale_ms=2.0,
+            tail_alpha=1.3,
+            max_ms=50.0,
+        ),
+        DurationDistribution(body_median_ms=3.0, body_sigma=0.1, min_ms=2.5, max_ms=3.5),
+    ]
+
+    @pytest.mark.parametrize("dist_index", range(len(DISTS)))
+    def test_identical_variate_stream(self, dist_index):
+        dist = self.DISTS[dist_index]
+        stream = RngStream(1234, "equiv")
+        reference = random.Random(_derive_seed(1234, "equiv"))
+        fast = [stream.sample_ms_fast(dist) for _ in range(5000)]
+        slow = [_reference_sample_ms(dist, reference) for _ in range(5000)]
+        assert fast == slow  # bit-for-bit, including draw count per sample
+
+    def test_sample_ms_delegates_to_fast_path(self):
+        dist = self.DISTS[1]
+        a = RngStream(77, "delegate")
+        b = RngStream(77, "delegate")
+        assert [dist.sample_ms(a) for _ in range(500)] == [
+            b.sample_ms_fast(dist) for _ in range(500)
+        ]
+
+    def test_interleaved_draws_stay_aligned(self):
+        """Mixing duration draws with other primitives must not desync the
+        stream (the fast path consumes exactly as many ``random()`` calls
+        as the library implementation)."""
+        dist = self.DISTS[1]
+        stream = RngStream(99, "mixed")
+        reference = random.Random(_derive_seed(99, "mixed"))
+        got, want = [], []
+        for i in range(1000):
+            got.append(stream.sample_ms_fast(dist))
+            want.append(_reference_sample_ms(dist, reference))
+            if i % 7 == 0:
+                got.append(stream.random())
+                want.append(reference.random())
+        assert got == want
 
 
 class TestCpuClock:

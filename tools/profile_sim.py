@@ -7,11 +7,21 @@ by cumulative time, plus the same table by internal time.  This is the
 profile that drove the ISSUE-2 dispatch fast path; keep it handy so future
 "the simulator feels slow" reports start from data.
 
+Besides the human-readable tables, ``--json`` writes a machine-readable
+report whose per-function *call counts per simulated second* are fully
+deterministic for a fixed (os, workload, duration, seed) cell -- unlike
+wall-clock timings, which are useless on noisy shared runners.  That is
+what ``benchmarks/test_call_budget.py`` gates on, against the checked-in
+budget written by ``--write-budget``.
+
 Usage::
 
     PYTHONPATH=src python tools/profile_sim.py
     PYTHONPATH=src python tools/profile_sim.py --os nt4 --workload office \\
         --duration-s 4 --top 30 --output profile_report.txt
+    PYTHONPATH=src python tools/profile_sim.py --json profile_report.json
+    PYTHONPATH=src python tools/profile_sim.py --write-budget \\
+        benchmarks/call_budget.json
 """
 
 from __future__ import annotations
@@ -19,6 +29,7 @@ from __future__ import annotations
 import argparse
 import cProfile
 import io
+import json
 import pstats
 import sys
 from pathlib import Path
@@ -40,6 +51,71 @@ def profile_cell(os_name: str, workload: str, duration_s: float, seed: int) -> c
     os.machine.run_for_ms(duration_s * 1000.0)
     profiler.disable()
     return profiler
+
+
+def _repro_key(filename: str, funcname: str) -> str | None:
+    """``"kernel/kernel.py:_run_complete"`` for functions under src/repro."""
+    marker = "repro/"
+    pos = filename.rfind(marker)
+    if pos < 0:
+        return None
+    return f"{filename[pos + len(marker):]}:{funcname}"
+
+
+def call_counts(os_name: str, workload: str, duration_s: float, seed: int) -> dict:
+    """Deterministic per-function call rates for one profiled cell.
+
+    Returns ``{"config": ..., "total_repro_calls_per_sim_s": float,
+    "functions": {key: {"calls": int, "calls_per_sim_s": float,
+    "tottime_s": float}}}`` covering every function under ``src/repro``.
+    The call counts depend only on the simulated event stream (which is
+    seeded), so they are bit-stable across runs and machines; ``tottime_s``
+    is informational only.
+    """
+    profiler = profile_cell(os_name, workload, duration_s, seed)
+    functions: dict = {}
+    total_calls = 0
+    for (filename, _lineno, funcname), (_cc, nc, tt, _ct, _callers) in pstats.Stats(
+        profiler
+    ).stats.items():
+        key = _repro_key(filename, funcname)
+        if key is None:
+            continue
+        entry = functions.setdefault(
+            key, {"calls": 0, "calls_per_sim_s": 0.0, "tottime_s": 0.0}
+        )
+        entry["calls"] += nc
+        entry["calls_per_sim_s"] = round(entry["calls"] / duration_s, 2)
+        entry["tottime_s"] = round(entry["tottime_s"] + tt, 6)
+        total_calls += nc
+    return {
+        "config": {
+            "os": os_name,
+            "workload": workload,
+            "duration_s": duration_s,
+            "seed": seed,
+        },
+        "total_repro_calls": total_calls,
+        "total_repro_calls_per_sim_s": round(total_calls / duration_s, 2),
+        "functions": dict(
+            sorted(functions.items(), key=lambda kv: -kv[1]["calls"])
+        ),
+    }
+
+
+def write_budget(counts: dict, path: Path, top: int = 25) -> None:
+    """Write the call-budget file ``benchmarks/test_call_budget.py`` gates on.
+
+    Keeps the ``top`` highest-traffic functions; the test allows 20%
+    headroom over each recorded rate before failing.
+    """
+    ranked = list(counts["functions"].items())[:top]
+    budget = {
+        "config": counts["config"],
+        "total_repro_calls_per_sim_s": counts["total_repro_calls_per_sim_s"],
+        "functions": {key: entry["calls_per_sim_s"] for key, entry in ranked},
+    }
+    path.write_text(json.dumps(budget, indent=2, sort_keys=True) + "\n")
 
 
 def format_report(profiler: cProfile.Profile, top: int) -> str:
@@ -64,7 +140,23 @@ def main(argv=None) -> int:
                         help="functions per table (default: 20)")
     parser.add_argument("--output", type=Path, default=None,
                         help="also write the report to this file")
+    parser.add_argument("--json", type=Path, default=None,
+                        help="write a machine-readable call-count report "
+                             "(deterministic calls/sim-s) to this file")
+    parser.add_argument("--write-budget", type=Path, default=None,
+                        help="write/refresh the call-budget file used by "
+                             "benchmarks/test_call_budget.py")
     args = parser.parse_args(argv)
+
+    if args.json is not None or args.write_budget is not None:
+        counts = call_counts(args.os_name, args.workload, args.duration_s, args.seed)
+        if args.json is not None:
+            args.json.write_text(json.dumps(counts, indent=2) + "\n")
+            print(f"call-count report written to {args.json}")
+        if args.write_budget is not None:
+            write_budget(counts, args.write_budget)
+            print(f"call budget written to {args.write_budget}")
+        return 0
 
     profiler = profile_cell(args.os_name, args.workload, args.duration_s, args.seed)
     header = (
