@@ -1,0 +1,75 @@
+"""Serving-layer performance: cache-hot request rate and coalescing.
+
+Two headline numbers for BENCH_sim.json:
+
+* ``service_cache_hot_rps`` -- served requests/second for a cell that is
+  already in the result store (the hot LRU path: no simulation, no disk,
+  no re-encode).  This is the serving layer's steady-state ceiling for
+  popular cells.
+* ``service_coalesced_fanout`` -- K clients asking for one uncached cell
+  cost exactly one simulation; the recorded fields pin the coalescing
+  bookkeeping alongside the wall numbers.
+
+Thresholds are deliberately loose (CI-shared runners); the recorded
+numbers are the real output.
+"""
+
+import time
+
+from repro.core.experiment import ExperimentConfig
+from repro.service import ServiceClient, ServiceThread
+
+from .test_sim_performance import record_measurement
+
+CELL = ExperimentConfig(os_name="win98", workload="office",
+                        duration_s=0.5, seed=1999)
+
+#: Requests timed against the hot store.
+HOT_REQUESTS = 200
+
+
+def test_cache_hot_served_requests_per_second(tmp_path):
+    with ServiceThread(cache_dir=tmp_path) as server:
+        with ServiceClient(port=server.port) as client:
+            client.submit(CELL)  # simulate once, warming LRU + disk
+            t0 = time.perf_counter()
+            for _ in range(HOT_REQUESTS):
+                client.submit(CELL, as_text=True)
+            elapsed = time.perf_counter() - t0
+            stats = client.stats()
+    rps = HOT_REQUESTS / elapsed
+    assert stats["counters"]["simulations"] == 1
+    assert stats["counters"]["cache_hits"] == HOT_REQUESTS
+    record_measurement(
+        "service_cache_hot_rps",
+        requests=HOT_REQUESTS,
+        wall_s=round(elapsed, 4),
+        requests_per_sec=round(rps, 1),
+        hot_hits=stats["gauges"]["store"]["hot_hits"],
+    )
+    # Conservative floor: even a loaded CI box serves hundreds/sec; a
+    # regression to per-request simulation would be ~20/s for this cell.
+    assert rps >= 50, f"cache-hot serving only {rps:.0f} req/s"
+
+
+def test_coalesced_fanout_costs_one_simulation(tmp_path):
+    k = 8
+    config = CELL.with_overrides(seed=7777)  # distinct from the hot test
+    with ServiceThread(cache_dir=tmp_path, start_paused=True) as server:
+        with ServiceClient(port=server.port) as client:
+            t0 = time.perf_counter()
+            job_ids = {client.submit_nowait(config) for _ in range(k)}
+            server.resume()
+            client.result(next(iter(job_ids)))
+            elapsed = time.perf_counter() - t0
+            stats = client.stats()
+    assert len(job_ids) == 1
+    assert stats["counters"]["simulations"] == 1
+    assert stats["counters"]["coalesced"] == k - 1
+    record_measurement(
+        "service_coalesced_fanout",
+        clients=k,
+        simulations=stats["counters"]["simulations"],
+        coalesced=stats["counters"]["coalesced"],
+        wall_s=round(elapsed, 4),
+    )

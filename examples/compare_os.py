@@ -22,26 +22,66 @@ from repro import (
 )
 
 
+def measure_locally(configs):
+    """The classic path: run each cell in this process."""
+    sample_sets = []
+    for config in configs:
+        print(f"measuring {config.os_name} under {config.workload!r}...")
+        sample_sets.append(run_latency_experiment(config).sample_set)
+    return sample_sets
+
+
+def measure_via_service(configs, server: str):
+    """Route the cells through the experiment service.
+
+    ``server`` is either ``host:port`` of a running ``python -m repro
+    serve`` or the string ``local`` to boot a private in-process server.
+    The served results are byte-identical to the local path -- the
+    serving layer's determinism guarantee -- so the rest of the script
+    cannot tell the difference.
+    """
+    from repro.service import ServiceClient, ServiceThread
+
+    if server == "local":
+        print("booting a local experiment service...")
+        with ServiceThread(max_workers=2) as thread:
+            with ServiceClient(port=thread.port) as client:
+                print(f"serving both cells via 127.0.0.1:{thread.port}...")
+                return client.run_campaign(configs)
+    host, _, port = server.rpartition(":")
+    with ServiceClient(host=host or "127.0.0.1", port=int(port)) as client:
+        print(f"serving both cells via {server}...")
+        return client.run_campaign(configs)
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--workload", default="games", choices=workload_names())
     parser.add_argument("--duration", type=float, default=45.0)
     parser.add_argument("--seed", type=int, default=1999)
     parser.add_argument("--skip-throughput", action="store_true")
+    parser.add_argument(
+        "--serve", nargs="?", const="local", default=None, metavar="HOST:PORT",
+        help="route measurement through the experiment service: with no "
+             "value, boot a private local server; with HOST:PORT, use a "
+             "running 'python -m repro serve'",
+    )
     args = parser.parse_args()
 
-    sample_sets = {}
-    for os_name in ("nt4", "win98"):
-        print(f"measuring {os_name} under {args.workload!r}...")
-        result = run_latency_experiment(
-            ExperimentConfig(
-                os_name=os_name,
-                workload=args.workload,
-                duration_s=args.duration,
-                seed=args.seed,
-            )
+    configs = [
+        ExperimentConfig(
+            os_name=os_name,
+            workload=args.workload,
+            duration_s=args.duration,
+            seed=args.seed,
         )
-        sample_sets[os_name] = result.sample_set
+        for os_name in ("nt4", "win98")
+    ]
+    if args.serve is not None:
+        results = measure_via_service(configs, args.serve)
+    else:
+        results = measure_locally(configs)
+    sample_sets = dict(zip(("nt4", "win98"), results))
 
     print()
     comparison = compare_sample_sets(sample_sets["nt4"], sample_sets["win98"])

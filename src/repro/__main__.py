@@ -11,6 +11,14 @@ Subcommands mirror the paper's workflow:
 * ``causes``   -- run the latency-cause tool and print Table 4-style
   episode traces.
 * ``throughput`` -- the section 4.2 Winstone-style control experiment.
+* ``serve``    -- run the experiment service (asyncio job queue, batching,
+  backpressure) on a TCP port.
+* ``submit``   -- send one ``measure``-style cell to a running server and
+  print the same report.
+
+Invalid flag values (negative durations, zero worker counts, ...) are
+rejected up front with a one-line error and exit status 2; they never
+reach the simulator layers as a traceback.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import __version__
 from repro.analysis.causes import summarize_episodes
 from repro.analysis.mttf import mttf_curve
 from repro.core.campaign import run_campaign
@@ -39,6 +48,13 @@ def _add_common(parser: argparse.ArgumentParser, default_duration: float = 30.0)
     parser.add_argument("--seed", type=int, default=1999)
 
 
+def _print_measure_report(ss) -> None:
+    print(f"{len(ss)} samples at {ss.sample_rate_hz():.0f} Hz\n")
+    print(WorstCaseTable(ss).format())
+    print()
+    print(format_figure4_panel(ss, LatencyKind.THREAD, priority=28))
+
+
 def cmd_measure(args) -> int:
     result = run_latency_experiment(
         ExperimentConfig(
@@ -46,11 +62,7 @@ def cmd_measure(args) -> int:
             duration_s=args.duration, seed=args.seed,
         )
     )
-    ss = result.sample_set
-    print(f"{len(ss)} samples at {ss.sample_rate_hz():.0f} Hz\n")
-    print(WorstCaseTable(ss).format())
-    print()
-    print(format_figure4_panel(ss, LatencyKind.THREAD, priority=28))
+    _print_measure_report(result.sample_set)
     return 0
 
 
@@ -110,8 +122,98 @@ def cmd_throughput(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.service import ExperimentService, ServiceConfig
+
+    service_config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        queue_limit=args.queue_limit,
+        max_workers=args.jobs,
+        batch_size=args.batch_size,
+        cache_dir=args.cache_dir,
+    )
+
+    async def _serve() -> None:
+        service = ExperimentService(service_config)
+        await service.start()
+        # Parsed by the CI smoke job to discover the ephemeral port.
+        print(f"repro service listening on {args.host}:{service.port}", flush=True)
+        loop = asyncio.get_running_loop()
+
+        def _drain() -> None:
+            asyncio.ensure_future(service.shutdown())
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, _drain)
+            except NotImplementedError:  # non-Unix event loops
+                pass
+        await service.wait_closed()
+        print("repro service drained and closed", flush=True)
+
+    asyncio.run(_serve())
+    return 0
+
+
+def cmd_submit(args) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    config = ExperimentConfig(
+        os_name=args.os, workload=args.workload,
+        duration_s=args.duration, seed=args.seed,
+    )
+    try:
+        client = ServiceClient(host=args.host, port=args.port, timeout=args.timeout)
+    except OSError as exc:
+        print(f"repro: error: cannot reach service at "
+              f"{args.host}:{args.port} ({exc})", file=sys.stderr)
+        return 1
+    with client:
+        if args.no_wait:
+            print(client.submit_nowait(config))
+            return 0
+        try:
+            if args.json:
+                print(client.submit(config, deadline_s=args.deadline, as_text=True))
+                return 0
+            sample_set = client.submit(config, deadline_s=args.deadline)
+        except ServiceError as exc:
+            print(f"repro: error: {exc}", file=sys.stderr)
+            return 1
+    _print_measure_report(sample_set)
+    return 0
+
+
+#: Flag sanity bounds checked before any simulator layer runs:
+#: (attribute, predicate, one-line requirement).
+_FLAG_CHECKS = (
+    ("duration", lambda v: v > 0, "--duration must be positive simulated seconds"),
+    ("threshold", lambda v: v > 0, "--threshold must be a positive latency in ms"),
+    ("units", lambda v: v > 0, "--units must be a positive work-unit count"),
+    ("jobs", lambda v: v >= 1, "--jobs must be at least 1"),
+    ("queue_limit", lambda v: v >= 1, "--queue-limit must be at least 1"),
+    ("batch_size", lambda v: v >= 1, "--batch-size must be at least 1"),
+    ("port", lambda v: 0 <= v <= 65535, "--port must be in 0..65535"),
+    ("timeout", lambda v: v is None or v > 0, "--timeout must be positive seconds"),
+    ("deadline", lambda v: v is None or v > 0, "--deadline must be positive seconds"),
+)
+
+
+def _validate_flags(args) -> "str | None":
+    for name, predicate, message in _FLAG_CHECKS:
+        if hasattr(args, name) and not predicate(getattr(args, name)):
+            return f"{message} (got {getattr(args, name)!r})"
+    return None
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("measure", help="one latency campaign")
@@ -143,8 +245,57 @@ def main(argv=None) -> int:
     p.add_argument("--seed", type=int, default=1999)
     p.set_defaults(func=cmd_throughput)
 
+    p = sub.add_parser("serve", help="run the experiment-serving subsystem")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 picks an ephemeral port)")
+    p.add_argument("--queue-limit", type=int, default=16,
+                   help="bounded admission queue; beyond it submits get "
+                        "an explicit 'overloaded' rejection")
+    p.add_argument("--jobs", type=int, default=2,
+                   help="simulation worker processes")
+    p.add_argument("--batch-size", type=int, default=4,
+                   help="cells dispatched per scheduler cycle")
+    p.add_argument("--cache-dir", default=None,
+                   help="content-addressed result store (campaign-cache "
+                        "format, replayable offline)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("submit", help="send one measure-style cell to a server")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True)
+    p.add_argument("--os", default="win98", choices=OS_NAMES)
+    _add_common(p)
+    p.add_argument("--deadline", type=float, default=None,
+                   help="per-request deadline in wall seconds")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="socket timeout in seconds")
+    p.add_argument("--no-wait", action="store_true",
+                   help="queue the cell and print its job id")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw serialized sample set")
+    p.set_defaults(func=cmd_submit)
+
     args = parser.parse_args(argv)
-    return args.func(args)
+    problem = _validate_flags(args)
+    if problem is not None:
+        print(f"repro: error: {problem}", file=sys.stderr)
+        return 2
+    try:
+        return args.func(args)
+    except (ValueError, NotADirectoryError) as exc:
+        # A flag combination that slipped past the up-front checks must
+        # still surface as a one-line error, never a traceback.
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream closed early (e.g. `| head`): not an error in us,
+        # but the interpreter would otherwise print a traceback while
+        # flushing stdout at exit.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 1
 
 
 if __name__ == "__main__":

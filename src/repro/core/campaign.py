@@ -110,6 +110,11 @@ class CampaignCache:
     unlikely) hash collision or a hand-edited file can never serve wrong
     data.  Writes are atomic (temp file + rename) so a parallel campaign
     and a concurrent reader never see a torn file.
+
+    A file that cannot be parsed at all (a writer killed on a filesystem
+    without atomic rename, disk corruption, a hand-truncated entry) is
+    *quarantined* -- renamed to ``<key>.corrupt`` -- and treated as a
+    miss, so one bad entry can never take down a whole campaign.
     """
 
     def __init__(self, root: Union[str, Path]):
@@ -121,35 +126,91 @@ class CampaignCache:
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
-    def get(self, config: ExperimentConfig) -> Optional[SampleSet]:
-        """Return the cached SampleSet for ``config``, or ``None``."""
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside to ``<key>.corrupt`` (best effort)."""
+        self.quarantined += 1
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            pass
+
+    def _load_serialized(self, config: ExperimentConfig) -> Optional[str]:
+        """Return the stored ``sample_set`` JSON text for ``config``.
+
+        Any unreadable / unparsable / structurally wrong file is
+        quarantined and reported as a miss; only a clean fingerprint
+        match returns data.
+        """
         path = self._path(cache_key(config))
         try:
-            payload = json.loads(path.read_text())
-        except (FileNotFoundError, json.JSONDecodeError):
-            self.misses += 1
+            text = path.read_text()
+        except FileNotFoundError:
             return None
-        if (
-            payload.get("schema") != CACHE_SCHEMA
-            or payload.get("fingerprint") != config_fingerprint(config)
-        ):
+        except OSError:
+            self._quarantine(path)
+            return None
+        try:
+            payload = json.loads(text)
+            if (
+                payload.get("schema") != CACHE_SCHEMA
+                or payload.get("fingerprint") != config_fingerprint(config)
+            ):
+                # Well-formed but not ours (schema bump, hash collision,
+                # hand-edited): a plain miss, not corruption.
+                return None
+            serialized = payload["sample_set"]
+            if not isinstance(serialized, str):
+                raise KeyError("sample_set")
+        except (json.JSONDecodeError, KeyError, AttributeError, TypeError):
+            self._quarantine(path)
+            return None
+        return serialized
+
+    def get_serialized(self, config: ExperimentConfig) -> Optional[str]:
+        """Cached :func:`sample_set_to_json` text for ``config``, or ``None``.
+
+        The byte-exact form :func:`put` stored -- the serving layer ships
+        this straight over the wire without a decode/re-encode cycle.
+        """
+        serialized = self._load_serialized(config)
+        if serialized is None:
             self.misses += 1
             return None
         self.hits += 1
-        return sample_set_from_json(payload["sample_set"])
+        return serialized
+
+    def get(self, config: ExperimentConfig) -> Optional[SampleSet]:
+        """Return the cached SampleSet for ``config``, or ``None``."""
+        serialized = self._load_serialized(config)
+        if serialized is None:
+            self.misses += 1
+            return None
+        try:
+            sample_set = sample_set_from_json(serialized)
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(self._path(cache_key(config)))
+            self.misses += 1
+            return None
+        self.hits += 1
+        return sample_set
 
     def put(self, config: ExperimentConfig, sample_set: SampleSet) -> Path:
         """Store a finished cell (atomic; safe under concurrent writers)."""
+        return self.put_serialized(config, sample_set_to_json(sample_set))
+
+    def put_serialized(self, config: ExperimentConfig, serialized: str) -> Path:
+        """Store an already-serialized cell (atomic; concurrent-writer safe)."""
         path = self._path(cache_key(config))
         payload = json.dumps(
             {
                 "schema": CACHE_SCHEMA,
                 "fingerprint": config_fingerprint(config),
-                "sample_set": sample_set_to_json(sample_set),
+                "sample_set": serialized,
             }
         )
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")

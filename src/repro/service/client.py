@@ -1,0 +1,198 @@
+"""Synchronous client for the experiment service.
+
+A thin blocking wrapper over one TCP connection speaking
+:mod:`repro.service.protocol`.  This is what tests, the ``submit`` CLI
+subcommand and ``examples/compare_os.py --serve`` use; an asyncio caller
+can open streams against the same protocol directly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.export import sample_set_from_json
+from repro.core.samples import SampleSet
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    config_to_wire,
+    encode_message,
+    request,
+)
+
+
+class ServiceError(RuntimeError):
+    """An ``{"ok": false}`` response, surfaced with its machine code."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+
+
+class ServiceClient:
+    """One connection to a running :class:`~repro.service.server.ExperimentService`.
+
+    Usage::
+
+        with ServiceClient(port=port) as client:
+            sample_set = client.submit(ExperimentConfig(os_name="win98"))
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 timeout: Optional[float] = 300.0):
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._req_ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Wire plumbing
+    # ------------------------------------------------------------------
+    def _roundtrip(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        self._file.write(encode_message(payload))
+        self._file.flush()
+        return self._read_message()
+
+    def _read_message(self) -> Dict[str, Any]:
+        line = self._file.readline(MAX_LINE_BYTES)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    @staticmethod
+    def _checked(response: Dict[str, Any]) -> Dict[str, Any]:
+        if not response.get("ok", False):
+            error = response.get("error") or {}
+            raise ServiceError(
+                error.get("code", "unknown"), error.get("message", "")
+            )
+        return response
+
+    def _request(self, verb: str, **fields) -> Dict[str, Any]:
+        payload = request(verb, req_id=f"r{next(self._req_ids)}", **fields)
+        return self._checked(self._roundtrip(payload))
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        config: ExperimentConfig,
+        deadline_s: Optional[float] = None,
+        as_text: bool = False,
+    ):
+        """Run one cell and return its :class:`SampleSet` (blocking).
+
+        ``as_text=True`` returns the raw serialized JSON instead -- the
+        byte-exact payload the determinism tests compare.
+        """
+        response = self._request(
+            "submit", config=config_to_wire(config), wait=True, deadline_s=deadline_s
+        )
+        text = response["sample_set"]
+        return text if as_text else sample_set_from_json(text)
+
+    def submit_nowait(self, config: ExperimentConfig) -> Optional[str]:
+        """Queue one cell; returns its job id immediately.
+
+        Returns ``None`` when the cell was already in the result store:
+        the server serves it inline and never creates a job.
+        """
+        response = self._request("submit", config=config_to_wire(config), wait=False)
+        if response.get("cached"):
+            return None
+        return response["job"]
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request("status", job=job_id)
+
+    def result(
+        self, job_id: str, deadline_s: Optional[float] = None, as_text: bool = False
+    ):
+        """Block until ``job_id`` finishes; return its SampleSet (or text)."""
+        response = self._request("result", job=job_id, deadline_s=deadline_s)
+        text = response["sample_set"]
+        return text if as_text else sample_set_from_json(text)
+
+    def watch(self, job_id: str) -> Iterator[str]:
+        """Stream a job's state transitions until it reaches a terminal one."""
+        payload = request("watch", req_id=f"r{next(self._req_ids)}", job=job_id)
+        self._file.write(encode_message(payload))
+        self._file.flush()
+        while True:
+            message = self._read_message()
+            event = message.get("event")
+            if event is None:
+                self._checked(message)  # final response; raises on failure
+                return
+            yield event["state"]
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("cancel", job=job_id)
+
+    def stats(self) -> Dict[str, Any]:
+        """Service counters / gauges / stage latencies (the ``stats`` verb)."""
+        return self._request("stats")["stats"]
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the server to drain and close; blocks until drained."""
+        return self._request("shutdown")
+
+    # ------------------------------------------------------------------
+    # Streaming pipelines
+    # ------------------------------------------------------------------
+    def stream_results(
+        self,
+        configs: Sequence[ExperimentConfig],
+        as_text: bool = False,
+        deadline_s: Optional[float] = None,
+    ) -> Iterator[Any]:
+        """Submit every cell up front, then yield results in input order.
+
+        The service-side analogue of ``run_campaign``: all cells are
+        admitted (and start executing / coalescing) before the first
+        result is consumed, and the yield order is the input order, so a
+        streamed campaign is byte-identical to a serial one.
+        """
+        pending: List[Any] = []
+        for config in configs:
+            response = self._request(
+                "submit", config=config_to_wire(config), wait=False
+            )
+            # A store-served cell arrives inline, with no job to poll.
+            if response.get("cached"):
+                pending.append(("text", response["sample_set"]))
+            else:
+                pending.append(("job", response["job"]))
+        for kind, value in pending:
+            if kind == "text":
+                yield value if as_text else sample_set_from_json(value)
+            else:
+                yield self.result(value, deadline_s=deadline_s, as_text=as_text)
+
+    def run_campaign(
+        self, configs: Sequence[ExperimentConfig]
+    ) -> List[SampleSet]:
+        """Drain :meth:`stream_results` into a list."""
+        return list(self.stream_results(configs))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

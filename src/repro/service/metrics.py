@@ -1,0 +1,83 @@
+"""Service observability: counters and per-stage latency percentiles.
+
+The ``stats`` verb serves a snapshot of these, so load tests and
+operators can see queue depth, rejection rates and where wall-clock goes
+(admission wait vs. simulation vs. total serve time) without attaching a
+profiler to a live server.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+#: Per-stage reservoir size.  512 observations is plenty for p99 on a
+#: smoke test while bounding a long-lived server's memory.
+_RESERVOIR = 512
+
+#: Counter names, all starting at zero.  Kept in one place so the stats
+#: snapshot shape is stable for dashboards/tests.
+COUNTERS = (
+    "submitted",          # submit requests admitted (new jobs)
+    "coalesced",          # submit requests folded into an existing job
+    "served",             # results returned to a client
+    "cache_hits",         # served straight from the result store
+    "simulations",        # cells actually simulated by the worker tier
+    "rejected_overloaded",  # backpressure: admission queue was full
+    "rejected_shutdown",  # submit during drain
+    "cancelled",          # queued jobs cancelled before dispatch
+    "deadline_expired",   # waits that hit their per-request deadline
+    "failed",             # jobs whose simulation raised
+)
+
+#: Stage names for latency observations (seconds).
+STAGES = ("queue_wait", "execute", "serve")
+
+
+class ServiceMetrics:
+    """Counters plus bounded per-stage latency reservoirs."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {name: 0 for name in COUNTERS}
+        self._stages: Dict[str, Deque[float]] = {
+            name: deque(maxlen=_RESERVOIR) for name in STAGES
+        }
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment one counter (unknown names fail loudly)."""
+        self.counters[name] += amount
+
+    def observe(self, stage: str, seconds: float) -> None:
+        """Record one latency observation for ``stage``."""
+        self._stages[stage].append(seconds)
+
+    def percentiles(self, stage: str) -> Optional[Dict[str, float]]:
+        """p50/p90/p99/max (ms) over the stage's reservoir, or ``None``."""
+        values = self._stages[stage]
+        if not values:
+            return None
+        ordered = sorted(values)
+        last = len(ordered) - 1
+
+        def at(q: float) -> float:
+            return ordered[min(last, int(q * len(ordered)))] * 1000.0
+
+        return {
+            "count": len(ordered),
+            "p50_ms": round(at(0.50), 3),
+            "p90_ms": round(at(0.90), 3),
+            "p99_ms": round(at(0.99), 3),
+            "max_ms": round(ordered[-1] * 1000.0, 3),
+        }
+
+    def snapshot(self, **gauges) -> Dict[str, object]:
+        """The ``stats`` verb payload: counters, gauges, stage latencies."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(gauges),
+            "stages": {
+                stage: self.percentiles(stage)
+                for stage in STAGES
+                if self._stages[stage]
+            },
+        }

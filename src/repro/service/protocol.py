@@ -1,0 +1,203 @@
+"""The wire protocol of the experiment-serving subsystem.
+
+Newline-delimited JSON over TCP: every request and every response is one
+JSON object on one line.  A connection carries any number of requests;
+responses are written in request order (the ``watch`` verb additionally
+streams intermediate event lines before its final response).
+
+Every message carries the schema version (``"v"``) so old clients fail
+loudly against new servers instead of misparsing.  Experiment
+configurations travel in the exact canonical form the campaign cache
+fingerprints (:func:`repro.core.campaign._jsonable`), so a config that
+round-trips through the wire has -- by construction -- the same
+:func:`~repro.core.campaign.cache_key` on both ends.
+
+Verbs:
+
+``submit``
+    Queue one :class:`~repro.core.experiment.ExperimentConfig`.  With
+    ``"wait": true`` (the default for :class:`~repro.service.client.ServiceClient`),
+    the response carries the finished cell; otherwise it returns a job id
+    immediately for later ``status`` / ``result`` calls.
+``status``  -- job state (queued / running / done / failed / cancelled).
+``result``  -- block until a job finishes and return its sample set.
+``watch``   -- stream job state transitions as they happen.
+``cancel``  -- abandon a queued job.
+``stats``   -- service counters and per-stage latency percentiles.
+``shutdown`` -- graceful drain: reject new work, finish admitted work.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.core.campaign import _jsonable
+from repro.core.experiment import ExperimentConfig
+from repro.drivers.latency import LatencyToolConfig
+from repro.kernel.dpc import DpcImportance
+from repro.kernel.intrusions import (
+    AppThreadSpec,
+    DeviceActivitySpec,
+    IntrusionKind,
+    IntrusionSpec,
+    LoadProfile,
+    WorkItemLoadSpec,
+)
+from repro.sim.rng import DurationDistribution
+
+#: Bump on any incompatible message-shape change.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one NDJSON line.  A 30-simulated-second cell serialises
+#: to ~3 MB of sample JSON; 64 MB leaves generous headroom for long cells
+#: while still bounding a misbehaving peer.
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+#: The verbs a server must implement.
+VERBS = ("submit", "status", "result", "watch", "cancel", "stats", "shutdown")
+
+#: Machine-readable error codes used in ``{"ok": false}`` responses.
+ERROR_CODES = (
+    "bad-request",
+    "unsupported-version",
+    "overloaded",
+    "shutting-down",
+    "not-found",
+    "deadline",
+    "cancelled",
+    "not-cancellable",
+    "failed",
+)
+
+
+class ProtocolError(ValueError):
+    """A message that cannot be parsed or fails schema validation."""
+
+
+# ----------------------------------------------------------------------
+# Config (de)serialization
+# ----------------------------------------------------------------------
+#: Dataclasses that may appear inside an ExperimentConfig on the wire.
+_DATACLASSES = {
+    cls.__name__: cls
+    for cls in (
+        ExperimentConfig,
+        LatencyToolConfig,
+        LoadProfile,
+        IntrusionSpec,
+        DeviceActivitySpec,
+        WorkItemLoadSpec,
+        AppThreadSpec,
+        DurationDistribution,
+    )
+}
+
+#: Enums that may appear inside an ExperimentConfig on the wire.
+_ENUMS = {cls.__name__: cls for cls in (DpcImportance, IntrusionKind)}
+
+
+def config_to_wire(config: ExperimentConfig) -> Dict[str, Any]:
+    """Reduce a config to the canonical JSON form the cache fingerprints."""
+    return _jsonable(config)
+
+
+def _from_wire(value):
+    if isinstance(value, dict):
+        if "__dataclass__" in value:
+            name = value["__dataclass__"]
+            cls = _DATACLASSES.get(name)
+            if cls is None:
+                raise ProtocolError(f"unknown config dataclass {name!r}")
+            kwargs = {k: _from_wire(v) for k, v in value.items() if k != "__dataclass__"}
+            try:
+                return cls(**kwargs)
+            except (TypeError, ValueError) as exc:
+                raise ProtocolError(f"invalid {name} payload: {exc}") from exc
+        if "__enum__" in value:
+            name = value["__enum__"]
+            cls = _ENUMS.get(name)
+            if cls is None:
+                raise ProtocolError(f"unknown config enum {name!r}")
+            try:
+                return cls(value["value"])
+            except (KeyError, ValueError) as exc:
+                raise ProtocolError(f"invalid {name} payload: {exc}") from exc
+        return {k: _from_wire(v) for k, v in value.items()}
+    if isinstance(value, list):
+        # Configs use tuples for immutability only; the fingerprint treats
+        # list and tuple identically, so rebuilding as tuples preserves
+        # the cache key exactly.
+        return tuple(_from_wire(item) for item in value)
+    return value
+
+
+def config_from_wire(payload: Dict[str, Any]) -> ExperimentConfig:
+    """Rebuild an :class:`ExperimentConfig` from its wire form.
+
+    Inverse of :func:`config_to_wire`: the result fingerprints (and hence
+    cache-keys) identically to the config the client serialized.
+    """
+    if not isinstance(payload, dict) or payload.get("__dataclass__") != "ExperimentConfig":
+        raise ProtocolError("config payload is not a serialized ExperimentConfig")
+    config = _from_wire(payload)
+    if not isinstance(config, ExperimentConfig):
+        raise ProtocolError("config payload did not decode to an ExperimentConfig")
+    return config
+
+
+# ----------------------------------------------------------------------
+# Message framing
+# ----------------------------------------------------------------------
+def encode_message(payload: Dict[str, Any]) -> bytes:
+    """One NDJSON line, versioned and ready for the socket."""
+    payload.setdefault("v", PROTOCOL_VERSION)
+    return (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_message(line: bytes) -> Dict[str, Any]:
+    """Parse one NDJSON line; raise :class:`ProtocolError` on any mismatch."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"unparsable message: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("message is not a JSON object")
+    if payload.get("v") != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {payload.get('v')!r} "
+            f"(this end speaks {PROTOCOL_VERSION})"
+        )
+    return payload
+
+
+def request(verb: str, req_id: Optional[str] = None, **fields) -> Dict[str, Any]:
+    """Build a request message."""
+    if verb not in VERBS:
+        raise ProtocolError(f"unknown verb {verb!r}")
+    payload: Dict[str, Any] = {"v": PROTOCOL_VERSION, "verb": verb}
+    if req_id is not None:
+        payload["id"] = req_id
+    payload.update(fields)
+    return payload
+
+
+def ok_response(req_id: Optional[str], **fields) -> Dict[str, Any]:
+    """Build a success response."""
+    payload: Dict[str, Any] = {"v": PROTOCOL_VERSION, "ok": True}
+    if req_id is not None:
+        payload["id"] = req_id
+    payload.update(fields)
+    return payload
+
+
+def error_response(req_id: Optional[str], code: str, message: str) -> Dict[str, Any]:
+    """Build an error response with a machine-readable code."""
+    payload: Dict[str, Any] = {
+        "v": PROTOCOL_VERSION,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+    if req_id is not None:
+        payload["id"] = req_id
+    return payload

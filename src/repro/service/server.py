@@ -1,0 +1,602 @@
+"""The asyncio experiment server.
+
+One process owns the admission queue and the worker tier; any number of
+clients connect over TCP and speak :mod:`repro.service.protocol`.  The
+design follows the properties the related work shows matter for a
+latency-measurement service under load:
+
+* **Bounded admission (backpressure).**  At most ``queue_limit`` distinct
+  cells wait for dispatch.  The next distinct submit is rejected with an
+  explicit ``overloaded`` error instead of being buffered without bound --
+  the client knows immediately and can retry elsewhere/later.
+* **Coalescing by cache key.**  Submits are content-addressed with the
+  campaign cache's :func:`~repro.core.campaign.cache_key`; N clients
+  asking for the same cell share one queue slot and one simulation, and
+  all N receive byte-identical results.
+* **Micro-batched dispatch.**  The dispatcher drains up to ``batch_size``
+  jobs per cycle onto a :class:`~concurrent.futures.ProcessPoolExecutor`,
+  so independent cells run in parallel on the existing worker tier while
+  admission stays responsive.
+* **Determinism end to end.**  Workers return the *serialized* sample
+  set; the store and the wire carry those exact bytes.  A served result
+  is byte-identical to ``run_campaign`` run serially, and every served
+  cell lands in the on-disk campaign cache for offline replay.
+* **Graceful drain.**  Shutdown (verb or SIGTERM) rejects new submits,
+  finishes everything already admitted, flushes the store and only then
+  closes -- no torn cache files, no abandoned clients.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+import time
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Union
+
+from repro.core.campaign import cache_key
+from repro.core.experiment import ExperimentConfig, run_latency_experiment
+from repro.core.export import sample_set_to_json
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    config_from_wire,
+    decode_message,
+    encode_message,
+    error_response,
+    ok_response,
+)
+from repro.service.store import ResultStore
+
+#: Completed job records kept for late ``status``/``result`` calls.
+MAX_FINISHED_JOBS = 1024
+
+
+def _run_cell_serialized(config: ExperimentConfig) -> str:
+    """Worker-side body: one cell, returned as canonical JSON text.
+
+    Returning the serialized form (rather than the SampleSet) means the
+    bytes a client receives are produced exactly once, in the worker, by
+    the same :func:`~repro.core.export.sample_set_to_json` a serial
+    ``run_campaign`` export uses -- the determinism guarantee needs no
+    re-encode step to stay byte-exact.
+    """
+    return sample_set_to_json(run_latency_experiment(config).sample_set)
+
+
+@dataclass
+class ServiceConfig:
+    """Server knobs.
+
+    Attributes:
+        host: Bind address.
+        port: TCP port; ``0`` picks an ephemeral port (``.port`` on the
+            started service reports the real one).
+        queue_limit: Bound on *distinct* cells awaiting dispatch; the
+            next distinct submit gets an ``overloaded`` rejection.
+        max_workers: Simulation worker processes.
+        batch_size: Jobs dispatched onto the pool per dispatcher cycle.
+        cache_dir: Persistent result store (campaign-cache format);
+            ``None`` keeps results in the hot LRU only.
+        hot_capacity: In-process LRU size (serialized cells).
+        start_paused: Admit but do not dispatch until ``resume()`` --
+            used by tests to make queueing behaviour deterministic.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    queue_limit: int = 16
+    max_workers: int = 2
+    batch_size: int = 4
+    cache_dir: Optional[Union[str, Path]] = None
+    hot_capacity: int = 64
+    start_paused: bool = False
+
+    def __post_init__(self):
+        if self.queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {self.queue_limit}")
+        if self.max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {self.max_workers}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+
+
+class Job:
+    """One admitted cell: the unit of coalescing and dispatch."""
+
+    __slots__ = (
+        "job_id",
+        "key",
+        "config",
+        "state",
+        "future",
+        "serialized",
+        "error",
+        "enqueued_at",
+        "dispatched_at",
+        "subscribers",
+    )
+
+    def __init__(self, job_id: str, key: str, config: ExperimentConfig,
+                 future: "asyncio.Future[Optional[str]]", enqueued_at: float):
+        self.job_id = job_id
+        self.key = key
+        self.config = config
+        self.state = "queued"
+        self.future = future
+        self.serialized: Optional[str] = None
+        self.error: Optional[str] = None
+        self.enqueued_at = enqueued_at
+        self.dispatched_at: Optional[float] = None
+        self.subscribers: List[asyncio.Queue] = []
+
+
+class ExperimentService:
+    """The serving loop: admission, coalescing, dispatch, drain."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig()
+        self.store = ResultStore(
+            cache_dir=self.config.cache_dir, hot_capacity=self.config.hot_capacity
+        )
+        self.metrics = ServiceMetrics()
+        self.port: Optional[int] = None
+        self._queue: Deque[Job] = deque()
+        self._jobs: Dict[str, Job] = {}
+        self._by_key: Dict[str, Job] = {}
+        self._finished_order: Deque[str] = deque()
+        self._job_ids = itertools.count(1)
+        self._running = 0
+        self._draining = False
+        self._stop_dispatch = False
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._work_available: Optional[asyncio.Event] = None
+        self._resume_event: Optional[asyncio.Event] = None
+        self._closed: Optional[asyncio.Event] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the socket, spawn the worker tier, start dispatching."""
+        self._work_available = asyncio.Event()
+        self._resume_event = asyncio.Event()
+        if not self.config.start_paused:
+            self._resume_event.set()
+        self._closed = asyncio.Event()
+        self._executor = ProcessPoolExecutor(max_workers=self.config.max_workers)
+        self._server = await asyncio.start_server(
+            self._handle_conn,
+            host=self.config.host,
+            port=self.config.port,
+            limit=MAX_LINE_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+
+    def pause(self) -> None:
+        """Hold dispatch (admission continues); test hook."""
+        self._resume_event.clear()
+
+    def resume(self) -> None:
+        """Release a paused dispatcher."""
+        self._resume_event.set()
+
+    async def wait_closed(self) -> None:
+        await self._closed.wait()
+
+    async def shutdown(self) -> int:
+        """Graceful drain; returns the number of cells drained.
+
+        New submits are rejected from the moment this is called; already
+        admitted work (queued and running) completes and is persisted,
+        then the worker tier and the socket close.  Idempotent.
+        """
+        if self._draining:
+            await self._closed.wait()
+            return 0
+        self._draining = True
+        # A paused server must still drain what it admitted.
+        self._resume_event.set()
+        drained = len(self._by_key)
+        while self._by_key:
+            await asyncio.sleep(0.01)
+        self._stop_dispatch = True
+        self._work_available.set()
+        if self._dispatcher is not None:
+            await self._dispatcher
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._closed.set()
+        return drained
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            while not self._queue:
+                if self._stop_dispatch:
+                    return
+                self._work_available.clear()
+                await self._work_available.wait()
+            await self._resume_event.wait()
+            batch: List[Job] = []
+            while self._queue and len(batch) < self.config.batch_size:
+                batch.append(self._queue.popleft())
+            if not batch:
+                continue
+            now = time.monotonic()
+            self._running += len(batch)
+            for job in batch:
+                job.dispatched_at = now
+                self.metrics.observe("queue_wait", now - job.enqueued_at)
+                self._set_state(job, "running")
+            futures = [
+                loop.run_in_executor(self._executor, _run_cell_serialized, job.config)
+                for job in batch
+            ]
+            results = await asyncio.gather(*futures, return_exceptions=True)
+            done_at = time.monotonic()
+            for job, result in zip(batch, results):
+                self._running -= 1
+                if isinstance(result, BaseException):
+                    self.metrics.count("failed")
+                    job.error = f"{type(result).__name__}: {result}"
+                    self._finish(job, "failed")
+                else:
+                    self.metrics.count("simulations")
+                    self.metrics.observe("execute", done_at - job.dispatched_at)
+                    self.store.put(job.config, result, key=job.key)
+                    job.serialized = result
+                    self._finish(job, "done")
+
+    def _set_state(self, job: Job, state: str) -> None:
+        job.state = state
+        for queue in job.subscribers:
+            queue.put_nowait(state)
+
+    def _finish(self, job: Job, state: str) -> None:
+        self._set_state(job, state)
+        self._by_key.pop(job.key, None)
+        if not job.future.done():
+            job.future.set_result(job.serialized)
+        self._finished_order.append(job.job_id)
+        while len(self._finished_order) > MAX_FINISHED_JOBS:
+            stale = self._jobs.get(self._finished_order.popleft())
+            if stale is not None and stale.state in ("done", "failed", "cancelled"):
+                del self._jobs[stale.job_id]
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+    async def _send(self, writer: asyncio.StreamWriter, payload: dict) -> None:
+        writer.write(encode_message(payload))
+        await writer.drain()
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        verbs = {
+            "submit": self._verb_submit,
+            "status": self._verb_status,
+            "result": self._verb_result,
+            "watch": self._verb_watch,
+            "cancel": self._verb_cancel,
+            "stats": self._verb_stats,
+            "shutdown": self._verb_shutdown,
+        }
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    msg = decode_message(line)
+                except ProtocolError as exc:
+                    code = (
+                        "unsupported-version"
+                        if "version" in str(exc)
+                        else "bad-request"
+                    )
+                    await self._send(writer, error_response(None, code, str(exc)))
+                    continue
+                req_id = msg.get("id")
+                handler = verbs.get(msg.get("verb"))
+                if handler is None:
+                    await self._send(
+                        writer,
+                        error_response(
+                            req_id, "bad-request", f"unknown verb {msg.get('verb')!r}"
+                        ),
+                    )
+                    continue
+                await handler(msg, req_id, writer)
+        except (ConnectionResetError, BrokenPipeError, ValueError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, asyncio.CancelledError):
+                # Loop teardown cancels the close waiter; the transport
+                # is already closed, so swallowing the cancel is safe.
+                pass
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+    def _decode_deadline(self, msg: dict, field: str = "deadline_s"):
+        deadline = msg.get(field)
+        if deadline is not None and (
+            not isinstance(deadline, (int, float)) or deadline <= 0
+        ):
+            raise ProtocolError(f"{field} must be a positive number")
+        return deadline
+
+    async def _verb_submit(self, msg, req_id, writer) -> None:
+        t0 = time.monotonic()
+        if self._draining:
+            self.metrics.count("rejected_shutdown")
+            await self._send(
+                writer,
+                error_response(req_id, "shutting-down", "server is draining"),
+            )
+            return
+        try:
+            config = config_from_wire(msg.get("config"))
+            deadline = self._decode_deadline(msg)
+        except ProtocolError as exc:
+            await self._send(writer, error_response(req_id, "bad-request", str(exc)))
+            return
+        key = cache_key(config)
+        cached = self.store.get(config, key=key)
+        if cached is not None:
+            self.metrics.count("cache_hits")
+            self.metrics.count("served")
+            self.metrics.observe("serve", time.monotonic() - t0)
+            await self._send(
+                writer,
+                ok_response(
+                    req_id, status="done", key=key, cached=True, sample_set=cached
+                ),
+            )
+            return
+        job = self._by_key.get(key)
+        if job is not None:
+            self.metrics.count("coalesced")
+        else:
+            if len(self._queue) >= self.config.queue_limit:
+                self.metrics.count("rejected_overloaded")
+                await self._send(
+                    writer,
+                    error_response(
+                        req_id,
+                        "overloaded",
+                        f"admission queue full ({self.config.queue_limit} cells)",
+                    ),
+                )
+                return
+            job = Job(
+                job_id=f"job-{next(self._job_ids)}",
+                key=key,
+                config=config,
+                future=asyncio.get_running_loop().create_future(),
+                enqueued_at=t0,
+            )
+            self._jobs[job.job_id] = job
+            self._by_key[key] = job
+            self._queue.append(job)
+            self.metrics.count("submitted")
+            self._work_available.set()
+        if not msg.get("wait", False):
+            await self._send(
+                writer, ok_response(req_id, status=job.state, job=job.job_id, key=key)
+            )
+            return
+        await self._send(writer, await self._await_job(job, req_id, deadline, t0))
+
+    async def _await_job(self, job: Job, req_id, deadline, t0) -> dict:
+        try:
+            if deadline is not None:
+                await asyncio.wait_for(asyncio.shield(job.future), deadline)
+            else:
+                await job.future
+        except asyncio.TimeoutError:
+            self.metrics.count("deadline_expired")
+            return error_response(
+                req_id, "deadline", f"{job.job_id} not done within {deadline}s"
+            )
+        if job.state == "failed":
+            return error_response(req_id, "failed", job.error or "simulation failed")
+        if job.state == "cancelled":
+            return error_response(req_id, "cancelled", f"{job.job_id} was cancelled")
+        self.metrics.count("served")
+        self.metrics.observe("serve", time.monotonic() - t0)
+        return ok_response(
+            req_id,
+            status="done",
+            job=job.job_id,
+            key=job.key,
+            cached=False,
+            sample_set=job.serialized,
+        )
+
+    def _lookup(self, msg, req_id) -> Union[Job, dict]:
+        job = self._jobs.get(msg.get("job", ""))
+        if job is None:
+            return error_response(
+                req_id, "not-found", f"unknown job {msg.get('job')!r}"
+            )
+        return job
+
+    async def _verb_status(self, msg, req_id, writer) -> None:
+        job = self._lookup(msg, req_id)
+        if isinstance(job, dict):
+            await self._send(writer, job)
+            return
+        payload = ok_response(
+            req_id, job=job.job_id, status=job.state, key=job.key,
+            queue_depth=len(self._queue),
+        )
+        if job.state == "queued":
+            payload["position"] = self._queue.index(job)
+        await self._send(writer, payload)
+
+    async def _verb_result(self, msg, req_id, writer) -> None:
+        t0 = time.monotonic()
+        job = self._lookup(msg, req_id)
+        if isinstance(job, dict):
+            await self._send(writer, job)
+            return
+        try:
+            deadline = self._decode_deadline(msg)
+        except ProtocolError as exc:
+            await self._send(writer, error_response(req_id, "bad-request", str(exc)))
+            return
+        await self._send(writer, await self._await_job(job, req_id, deadline, t0))
+
+    async def _verb_watch(self, msg, req_id, writer) -> None:
+        """Stream state transitions, then the final result response."""
+        t0 = time.monotonic()
+        job = self._lookup(msg, req_id)
+        if isinstance(job, dict):
+            await self._send(writer, job)
+            return
+        events: asyncio.Queue = asyncio.Queue()
+        job.subscribers.append(events)
+        try:
+            state = job.state
+            await self._send(
+                writer, {"id": req_id, "event": {"job": job.job_id, "state": state}}
+            )
+            while state not in ("done", "failed", "cancelled"):
+                state = await events.get()
+                await self._send(
+                    writer,
+                    {"id": req_id, "event": {"job": job.job_id, "state": state}},
+                )
+        finally:
+            job.subscribers.remove(events)
+        await self._send(writer, await self._await_job(job, req_id, None, t0))
+
+    async def _verb_cancel(self, msg, req_id, writer) -> None:
+        job = self._lookup(msg, req_id)
+        if isinstance(job, dict):
+            await self._send(writer, job)
+            return
+        if job.state != "queued":
+            await self._send(
+                writer,
+                error_response(
+                    req_id, "not-cancellable", f"{job.job_id} is {job.state}"
+                ),
+            )
+            return
+        self._queue.remove(job)
+        self._by_key.pop(job.key, None)
+        self.metrics.count("cancelled")
+        self._set_state(job, "cancelled")
+        if not job.future.done():
+            job.future.set_result(None)
+        await self._send(
+            writer, ok_response(req_id, job=job.job_id, status="cancelled")
+        )
+
+    async def _verb_stats(self, msg, req_id, writer) -> None:
+        snapshot = self.metrics.snapshot(
+            queue_depth=len(self._queue),
+            running=self._running,
+            jobs=len(self._jobs),
+            draining=self._draining,
+            store=self.store.stats(),
+        )
+        await self._send(writer, ok_response(req_id, stats=snapshot))
+
+    async def _verb_shutdown(self, msg, req_id, writer) -> None:
+        drained = await self.shutdown()
+        await self._send(writer, ok_response(req_id, status="closed", drained=drained))
+
+
+# ----------------------------------------------------------------------
+# Thread harness
+# ----------------------------------------------------------------------
+class ServiceThread:
+    """Run an :class:`ExperimentService` on a background thread.
+
+    What tests, benchmarks and ``examples/compare_os.py --serve`` use: a
+    real server on a real (ephemeral) socket, owned by a daemon thread,
+    with thread-safe ``pause``/``resume``/``stop`` controls.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None, **overrides):
+        if config is not None and overrides:
+            raise ValueError("pass either a ServiceConfig or keyword overrides")
+        self.config = config or ServiceConfig(**overrides)
+        self.service: Optional[ExperimentService] = None
+        self.port: Optional[int] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+
+    def start(self) -> "ServiceThread":
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()), daemon=True,
+            name="repro-service",
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=60):
+            raise RuntimeError("service thread failed to start within 60s")
+        if self._error is not None:
+            raise RuntimeError(f"service failed to start: {self._error}")
+        return self
+
+    async def _main(self) -> None:
+        self.service = ExperimentService(self.config)
+        try:
+            await self.service.start()
+        except BaseException as exc:  # surfaced to start() in the caller
+            self._error = exc
+            self._ready.set()
+            return
+        self._loop = asyncio.get_running_loop()
+        self.port = self.service.port
+        self._ready.set()
+        await self.service.wait_closed()
+
+    def pause(self) -> None:
+        self._loop.call_soon_threadsafe(self.service.pause)
+
+    def resume(self) -> None:
+        self._loop.call_soon_threadsafe(self.service.resume)
+
+    def stop(self, timeout: float = 120.0) -> None:
+        """Drain and join; safe to call after a client-driven shutdown."""
+        if self._thread is None or not self._thread.is_alive():
+            return
+        try:
+            future = asyncio.run_coroutine_threadsafe(
+                self.service.shutdown(), self._loop
+            )
+            future.result(timeout=timeout)
+        except (RuntimeError, asyncio.CancelledError):
+            pass  # loop already closing via a client-side shutdown verb
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,92 @@
+"""The result store: content-addressed persistence plus a hot LRU.
+
+Layered on :class:`~repro.core.campaign.CampaignCache`, so every cell the
+service ever serves is also a normal cache entry -- replayable offline by
+``run_campaign(..., cache_dir=...)`` and byte-identical to what went over
+the wire.  On top sits a small in-process LRU of serialized cells, so a
+popular config is served from memory without touching disk or JSON.
+
+Results live here as *serialized text* (the exact
+:func:`~repro.core.export.sample_set_to_json` bytes the worker produced):
+the serving path never decodes and re-encodes a sample set, which is both
+faster and what makes the byte-identical determinism guarantee trivial to
+uphold.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.campaign import CampaignCache, cache_key
+from repro.core.experiment import ExperimentConfig
+
+
+class ResultStore:
+    """Serialized-cell store: optional disk tier under a hot LRU."""
+
+    def __init__(
+        self,
+        cache_dir: Optional[Union[str, Path]] = None,
+        hot_capacity: int = 64,
+    ):
+        if hot_capacity < 0:
+            raise ValueError(f"hot_capacity must be >= 0, got {hot_capacity}")
+        self.cache = CampaignCache(cache_dir) if cache_dir is not None else None
+        self.hot_capacity = hot_capacity
+        self._hot: "OrderedDict[str, str]" = OrderedDict()
+        self.hot_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+
+    def get(self, config: ExperimentConfig, key: Optional[str] = None) -> Optional[str]:
+        """Serialized sample-set JSON for ``config``, or ``None``."""
+        key = key if key is not None else cache_key(config)
+        hot = self._hot.get(key)
+        if hot is not None:
+            self._hot.move_to_end(key)
+            self.hot_hits += 1
+            return hot
+        if self.cache is not None:
+            serialized = self.cache.get_serialized(config)
+            if serialized is not None:
+                self.disk_hits += 1
+                self._remember(key, serialized)
+                return serialized
+        self.misses += 1
+        return None
+
+    def put(
+        self,
+        config: ExperimentConfig,
+        serialized: str,
+        key: Optional[str] = None,
+    ) -> None:
+        """Persist a finished cell (disk write is atomic) and warm the LRU."""
+        key = key if key is not None else cache_key(config)
+        if self.cache is not None:
+            self.cache.put_serialized(config, serialized)
+        self._remember(key, serialized)
+
+    def _remember(self, key: str, serialized: str) -> None:
+        if self.hot_capacity == 0:
+            return
+        self._hot[key] = serialized
+        self._hot.move_to_end(key)
+        while len(self._hot) > self.hot_capacity:
+            self._hot.popitem(last=False)
+
+    @property
+    def hot_size(self) -> int:
+        return len(self._hot)
+
+    def stats(self) -> dict:
+        return {
+            "hot_size": self.hot_size,
+            "hot_capacity": self.hot_capacity,
+            "hot_hits": self.hot_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "persistent": self.cache is not None,
+        }

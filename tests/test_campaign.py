@@ -167,6 +167,64 @@ class TestCache:
         # ...and the rerun repaired the entry.
         assert run_campaign([config], cache_dir=tmp_path).cache_hits == 1
 
+    def test_truncated_entry_is_quarantined_not_fatal(self, tmp_path):
+        # A writer killed mid-write on a filesystem without atomic rename
+        # leaves a truncated JSON file.  The campaign must treat it as a
+        # miss, move it aside to <key>.corrupt, and recompute -- never
+        # crash the whole campaign.
+        config = ExperimentConfig(duration_s=DURATION_S)
+        cache = CampaignCache(tmp_path)
+        run_campaign([config], cache_dir=tmp_path)
+        path = cache._path(cache_key(config))
+        intact = path.read_text()
+        path.write_text(intact[: len(intact) // 2])  # hand-truncated
+
+        report = run_campaign([config], cache_dir=tmp_path)
+        assert report.cache_misses == 1
+        quarantined = path.with_suffix(".corrupt")
+        assert quarantined.exists()
+        assert quarantined.read_text() == intact[: len(intact) // 2]
+        # The recomputed entry is intact and served on the next run.
+        assert run_campaign([config], cache_dir=tmp_path).cache_hits == 1
+
+    def test_structurally_wrong_entry_is_quarantined(self, tmp_path):
+        # Valid JSON, right schema + fingerprint, but the sample_set
+        # payload is missing: quarantine, don't KeyError the campaign.
+        import json
+
+        config = ExperimentConfig(duration_s=DURATION_S)
+        cache = CampaignCache(tmp_path)
+        run_campaign([config], cache_dir=tmp_path)
+        path = cache._path(cache_key(config))
+        payload = json.loads(path.read_text())
+        del payload["sample_set"]
+        path.write_text(json.dumps(payload))
+        assert cache.get(config) is None
+        assert cache.quarantined == 1
+        assert path.with_suffix(".corrupt").exists()
+
+    def test_truncated_inner_sample_set_is_quarantined(self, tmp_path):
+        import json
+
+        config = ExperimentConfig(duration_s=DURATION_S)
+        cache = CampaignCache(tmp_path)
+        run_campaign([config], cache_dir=tmp_path)
+        path = cache._path(cache_key(config))
+        payload = json.loads(path.read_text())
+        payload["sample_set"] = payload["sample_set"][:40]  # torn inner JSON
+        path.write_text(json.dumps(payload))
+        assert cache.get(config) is None
+        assert path.with_suffix(".corrupt").exists()
+
+    def test_serialized_round_trip_is_byte_exact(self, tmp_path):
+        config = ExperimentConfig(duration_s=DURATION_S)
+        fresh = run_campaign([config]).sample_sets[0]
+        cache = CampaignCache(tmp_path)
+        cache.put(config, fresh)
+        assert cache.get_serialized(config) == sample_set_to_json(fresh)
+        cache.put_serialized(config, sample_set_to_json(fresh))
+        assert sample_set_to_json(cache.get(config)) == sample_set_to_json(fresh)
+
     def test_wrong_schema_is_a_miss(self, tmp_path):
         import json
 

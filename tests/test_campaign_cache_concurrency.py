@@ -1,0 +1,100 @@
+"""Concurrent CampaignCache writers: the atomic-rename invariant.
+
+The cache docstring promises writes are atomic (temp file + rename) so a
+parallel campaign and a concurrent reader never see a torn file.  These
+tests exercise that promise for real: multiple *processes* hammer
+``put()`` on the same key while the parent reads, then the directory is
+checked for leftovers.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.core.campaign import CampaignCache, cache_key
+from repro.core.experiment import ExperimentConfig
+from repro.core.export import sample_set_to_json
+from repro.core.samples import RawSample, SampleSet
+from repro.sim.clock import CpuClock
+
+#: Writes per worker process; enough interleavings to catch a torn
+#: rename while keeping the test under a couple of seconds.
+PUTS_PER_WRITER = 25
+WRITERS = 2
+
+CONFIG = ExperimentConfig(os_name="win98", workload="office",
+                          duration_s=0.25, seed=424242)
+
+
+def _synthetic_sample_set() -> SampleSet:
+    """A deterministic SampleSet every process rebuilds byte-identically."""
+    sample_set = SampleSet(
+        clock=CpuClock(hz=400_000_000),
+        os_name=CONFIG.os_name,
+        workload=CONFIG.workload,
+        duration_s=CONFIG.duration_s,
+    )
+    for seq in range(100):
+        base = 1_000_000 + seq * 400_000
+        sample_set.add(
+            RawSample(
+                seq=seq,
+                priority=28 if seq % 2 == 0 else 24,
+                t_read=base,
+                delay_cycles=400_000,
+                t_assert=base + 400_000,
+                t_isr=base + 401_000 if seq % 3 else None,
+                t_dpc=base + 405_000,
+                t_thread=base + 450_000,
+            )
+        )
+    return sample_set
+
+
+def _hammer_puts(root: str) -> int:
+    """Worker body: re-put the same key PUTS_PER_WRITER times."""
+    cache = CampaignCache(root)
+    sample_set = _synthetic_sample_set()
+    for _ in range(PUTS_PER_WRITER):
+        cache.put(CONFIG, sample_set)
+    return PUTS_PER_WRITER
+
+
+class TestConcurrentWriters:
+    def test_no_torn_reads_under_concurrent_puts(self, tmp_path):
+        cache = CampaignCache(tmp_path)
+        expected = sample_set_to_json(_synthetic_sample_set())
+        cache.put(CONFIG, _synthetic_sample_set())  # readers never see "absent"
+
+        with ProcessPoolExecutor(max_workers=WRITERS) as pool:
+            futures = [
+                pool.submit(_hammer_puts, str(tmp_path)) for _ in range(WRITERS)
+            ]
+            # Read continuously while both writers hammer the same key.
+            reads = 0
+            while any(not f.done() for f in futures):
+                loaded = cache.get_serialized(CONFIG)
+                assert loaded == expected, "torn or partial cache read"
+                reads += 1
+            assert all(f.result() == PUTS_PER_WRITER for f in futures)
+        assert reads > 0
+        # One final read after the dust settles.
+        assert cache.get_serialized(CONFIG) == expected
+        assert cache.quarantined == 0
+
+    def test_rename_leaves_no_tmp_files(self, tmp_path):
+        with ProcessPoolExecutor(max_workers=WRITERS) as pool:
+            list(pool.map(_hammer_puts, [str(tmp_path)] * WRITERS))
+        leftovers = list(tmp_path.glob("*.tmp"))
+        assert leftovers == [], f"non-atomic write leaked {leftovers}"
+        entries = list(tmp_path.glob("*.json"))
+        assert len(entries) == 1
+        assert entries[0].name == f"{cache_key(CONFIG)}.json"
+
+    def test_concurrent_writes_converge_to_valid_entry(self, tmp_path):
+        with ProcessPoolExecutor(max_workers=WRITERS) as pool:
+            list(pool.map(_hammer_puts, [str(tmp_path)] * WRITERS))
+        cache = CampaignCache(tmp_path)
+        loaded = cache.get(CONFIG)
+        assert loaded is not None
+        assert sample_set_to_json(loaded) == sample_set_to_json(
+            _synthetic_sample_set()
+        )

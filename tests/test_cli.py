@@ -45,3 +45,54 @@ class TestCli:
     def test_win2k_accepted(self, capsys):
         assert main(["measure", "--os", "win2k", "--workload", "idle",
                      "--duration", "2"]) == 0
+
+
+class TestFlagValidation:
+    """Invalid flag values exit 2 with a one-line error, never a traceback."""
+
+    def _assert_one_line_error(self, capsys):
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
+
+    def test_negative_duration_exits_2(self, capsys):
+        assert main(["measure", "--duration", "-5"]) == 2
+        self._assert_one_line_error(capsys)
+
+    def test_zero_duration_exits_2(self, capsys):
+        assert main(["mttf", "--duration", "0"]) == 2
+        self._assert_one_line_error(capsys)
+
+    def test_zero_jobs_exits_2(self, capsys):
+        assert main(["compare", "--workload", "idle", "--duration", "2",
+                     "--jobs", "0"]) == 2
+        self._assert_one_line_error(capsys)
+
+    def test_zero_units_exits_2(self, capsys):
+        assert main(["throughput", "--units", "0"]) == 2
+        self._assert_one_line_error(capsys)
+
+    def test_negative_threshold_exits_2(self, capsys):
+        assert main(["causes", "--threshold", "-1", "--duration", "2"]) == 2
+        self._assert_one_line_error(capsys)
+
+    def test_bad_serve_queue_limit_exits_2(self, capsys):
+        assert main(["serve", "--queue-limit", "0"]) == 2
+        self._assert_one_line_error(capsys)
+
+    def test_bad_submit_deadline_exits_2(self, capsys):
+        assert main(["submit", "--port", "7998", "--deadline", "-1"]) == 2
+        self._assert_one_line_error(capsys)
+
+    def test_out_of_range_port_exits_2(self, capsys):
+        assert main(["serve", "--port", "70000"]) == 2
+        self._assert_one_line_error(capsys)
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out

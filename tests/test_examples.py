@@ -37,6 +37,14 @@ class TestExamples:
         assert "Paper claims" in out
         assert "ratios" in out
 
+    def test_compare_os_through_service(self):
+        out = run_example(
+            "compare_os.py", "--duration", "6", "--workload", "games",
+            "--skip-throughput", "--serve",
+        )
+        assert "serving both cells via" in out
+        assert "Paper claims" in out
+
     def test_softmodem_qos(self):
         out = run_example("softmodem_qos.py", "--duration", "6")
         assert "Figure 6" in out

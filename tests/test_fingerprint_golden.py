@@ -1,0 +1,58 @@
+"""Golden pin of the config fingerprint the cache (and service) key on.
+
+``config_fingerprint`` is load-bearing twice over: the on-disk campaign
+cache *and* the serving layer's coalescing both address cells by its
+SHA-256.  An accidental change to ``_jsonable`` (field renamed, enum
+encoding tweaked, sort order lost) would silently invalidate every cache
+-- or, far worse, let two different configs collide and serve the wrong
+cell.  Pinning the exact canonical string makes any such drift fail
+loudly here instead.
+
+If this test fails because of an *intentional* fingerprint change, bump
+``CALIBRATION_VERSION`` (so stale caches are never served) and re-pin.
+"""
+
+from repro.core.campaign import cache_key, config_fingerprint
+from repro.core.experiment import ExperimentConfig
+
+#: The byte-exact fingerprint of a default ExperimentConfig at
+#: CALIBRATION_VERSION 1.
+GOLDEN_FINGERPRINT = (
+    '{"calibration_version":1,"config":{"__dataclass__":"ExperimentConfig",'
+    '"duration_s":30.0,"extra_profile":null,"os_name":"win98","seed":1999,'
+    '"tool":{"__dataclass__":"LatencyToolConfig","app_priority":14,'
+    '"app_processing_ms":[0.05,1.25],"delay_ms":1.0,'
+    '"dpc_importance":{"__enum__":"DpcImportance","value":"medium"},'
+    '"dpc_work_us":1.5,"isr_work_us":0.8,"omniscient":false,"pit_hz":1000.0,'
+    '"thread_priorities":[28,24],"thread_work_us":2.0},"warmup_s":1.0,'
+    '"workload":"office"}}'
+)
+
+GOLDEN_KEY = "26c3e59b32236503f3af96c29deb3ec97383a6e20535b86494764591243838a7"
+
+#: A second pin with every scalar field overridden, so a change that only
+#: affects non-default encodings is caught too.
+GOLDEN_KEY_NT4_GAMES = (
+    "3dd599dbf95f4c85cbc0e4d36169b944580604b7fa9bd07c39e09f63e1f220ed"
+)
+
+
+class TestFingerprintGolden:
+    def test_default_config_fingerprint_is_pinned(self):
+        assert config_fingerprint(ExperimentConfig()) == GOLDEN_FINGERPRINT
+
+    def test_default_config_key_is_pinned(self):
+        assert cache_key(ExperimentConfig()) == GOLDEN_KEY
+
+    def test_overridden_config_key_is_pinned(self):
+        config = ExperimentConfig(
+            os_name="nt4", workload="games", duration_s=5.0, seed=7
+        )
+        assert cache_key(config) == GOLDEN_KEY_NT4_GAMES
+
+    def test_fingerprint_has_no_whitespace_and_sorted_keys(self):
+        # The canonical form must stay canonical: compact separators and
+        # sorted keys are what make the pin byte-stable.
+        fp = config_fingerprint(ExperimentConfig())
+        assert " " not in fp
+        assert fp.index('"calibration_version"') < fp.index('"config"')

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""CI smoke for the serving layer: boot, submit, verify bytes, drain.
+
+Boots a real ``python -m repro serve`` subprocess on an ephemeral port,
+submits one short cell over TCP, asserts the served bytes are identical
+to a serial ``run_campaign`` of the same config, then SIGTERMs the
+server and checks a clean drain (exit 0, no ``.tmp`` leftovers in the
+cache directory).
+
+Exit status is non-zero on any violation, so CI can run this file
+directly.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.core.campaign import run_campaign  # noqa: E402
+from repro.core.experiment import ExperimentConfig  # noqa: E402
+from repro.core.export import sample_set_to_json  # noqa: E402
+from repro.service import ServiceClient  # noqa: E402
+
+CONFIG = ExperimentConfig(
+    os_name="win98", workload="office", duration_s=2.0, seed=1999
+)
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    with tempfile.TemporaryDirectory(prefix="repro-service-smoke-") as cache_dir:
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--cache-dir", cache_dir],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        try:
+            banner = server.stdout.readline().strip()
+            print(banner)
+            assert "listening on" in banner, f"bad banner: {banner!r}"
+            port = int(banner.rsplit(":", 1)[1])
+
+            with ServiceClient(port=port) as client:
+                served = client.submit(CONFIG, as_text=True)
+                stats = client.stats()
+            print(f"served {len(served)} bytes; "
+                  f"counters={stats['counters']}")
+
+            serial = sample_set_to_json(run_campaign([CONFIG]).sample_sets[0])
+            assert served == serial, "served bytes differ from serial run_campaign"
+            print("byte-identical to serial run_campaign: OK")
+
+            server.send_signal(signal.SIGTERM)
+            stdout, _ = server.communicate(timeout=120)
+            print(stdout.strip())
+            assert server.returncode == 0, f"server exited {server.returncode}"
+            assert "drained and closed" in stdout, "no drain banner on SIGTERM"
+
+            leftovers = list(Path(cache_dir).glob("*.tmp"))
+            assert not leftovers, f"drain leaked temp files: {leftovers}"
+            entries = list(Path(cache_dir).glob("*.json"))
+            assert len(entries) == 1, f"expected 1 cache entry, got {entries}"
+            print("graceful drain left the cache consistent: OK")
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait(timeout=30)
+    print("service smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
