@@ -2,11 +2,17 @@
 
 Wall-clock benchmarks are hopeless regression detectors on shared CI
 runners, so this gate counts *function calls per simulated second*
-instead: the loaded win98/games cell is seeded, its event stream is
+instead: each budgeted cell is seeded, its event stream is
 bit-reproducible, and therefore so is the number of times each hot
 function runs.  A >20% jump in any budgeted function's call rate (or in
 the repro-wide total) means someone re-introduced per-event overhead the
 segment-compiled execution path removed -- fail loudly, on any machine.
+
+Two cells are gated: the loaded ``win98/games`` cell exercises every
+dispatch path, and the ``nt4/idle`` cell pins the virtual-time
+fast-forward -- with nearly every PIT tick batch-settled its call rates
+are tiny, so a regression that stops spans from settling explodes them
+well past the headroom.
 
 The budget lives in ``benchmarks/call_budget.json``.  After an
 *intentional* hot-path restructuring, refresh it with::
@@ -21,6 +27,8 @@ import json
 import sys
 from pathlib import Path
 
+import pytest
+
 ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "tools"))
 
@@ -33,16 +41,19 @@ BUDGET_FILE = Path(__file__).parent / "call_budget.json"
 #: catch an accidental per-event regression (those multiply rates).
 HEADROOM = 1.2
 
+_BUDGET = json.loads(BUDGET_FILE.read_text())
 
-def test_hot_path_call_budget():
-    budget = json.loads(BUDGET_FILE.read_text())
+
+@pytest.mark.parametrize("cell", sorted(_BUDGET["cells"]))
+def test_hot_path_call_budget(cell):
+    budget = _BUDGET["cells"][cell]
     cfg = budget["config"]
     counts = call_counts(cfg["os"], cfg["workload"], cfg["duration_s"], cfg["seed"])
 
     total = counts["total_repro_calls_per_sim_s"]
     total_allowed = budget["total_repro_calls_per_sim_s"] * HEADROOM
     assert total <= total_allowed, (
-        f"repro-wide call rate regressed: {total:.0f} calls/sim-s vs "
+        f"{cell}: repro-wide call rate regressed: {total:.0f} calls/sim-s vs "
         f"budget {budget['total_repro_calls_per_sim_s']:.0f} (+20% headroom "
         f"= {total_allowed:.0f}); refresh the budget only if intentional"
     )
@@ -56,4 +67,15 @@ def test_hot_path_call_budget():
                 f"  {name}: {actual:.0f} calls/sim-s > "
                 f"{budgeted_rate:.0f} * {HEADROOM}"
             )
-    assert not failures, "call-budget regressions:\n" + "\n".join(failures)
+    assert not failures, f"{cell} call-budget regressions:\n" + "\n".join(failures)
+
+    # The recorded fast-forward behaviour is part of the budget: an idle
+    # cell that stops settling spans regresses call rates, but assert the
+    # mechanism directly too so the failure names the cause.
+    recorded_ff = budget.get("fast_forward")
+    if recorded_ff and recorded_ff["ticks_fast_forwarded"] > 0:
+        assert counts["fast_forward"]["ticks_fast_forwarded"] > 0, (
+            f"{cell}: budget recorded {recorded_ff['ticks_fast_forwarded']} "
+            "batch-settled ticks but this run settled none -- virtual-time "
+            "fast-forward stopped engaging"
+        )

@@ -61,6 +61,11 @@ def test_idle_kernel_simulation_rate(benchmark):
         machine = Machine(MachineConfig(pit_hz=1000.0), seed=1)
         boot_os(machine, "nt4", baseline_load=False)
         machine.run_for_ms(1000)
+        # The recorded rate only means what it claims if the idle-span
+        # fast-forward actually engaged: a silently disqualified span
+        # (e.g. an RNG-drawing PIT hook) would re-simulate every tick and
+        # quietly regress this metric ~100x.
+        assert machine.engine.ticks_fast_forwarded > 0
         return machine.engine.events_processed
 
     events = benchmark(one_second_idle)

@@ -166,7 +166,10 @@ class WdmLatencyTool:
         # The Windows 98 driver installs its own timer handler via the
         # legacy Win9x interface; on NT that would need source access.
         if self.os.name == "win98" or config.omniscient:
-            kernel.install_pit_hook(self._pit_isr_hook)
+            # Pure bookkeeping (timestamps a pending sample); draws no RNG
+            # and schedules nothing, so idle-span fast-forward may replay
+            # it analytically at each settled tick's exact instant.
+            kernel.install_pit_hook(self._pit_isr_hook, draws_rng=False)
             self._hook_installed = True
         driver.set_dispatch(IrpMajorFunction.READ, self._lat_read)
         DeviceObject(driver, self.DEVICE_NAME)

@@ -16,7 +16,10 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 
-@dataclass
+# slots=True: vector fields (irql, latency_cycles, asserted_at) are read on
+# every poll/delivery, and the fast-forward settle bumps the counters in
+# bulk; slotted instances keep those accesses off a per-instance dict.
+@dataclass(slots=True)
 class InterruptVector:
     """One interrupt line as the kernel sees it.
 
@@ -53,6 +56,8 @@ class InterruptController:
     and interrupt-flag state allow delivery, and calls :meth:`acknowledge`
     when it starts the ISR.
     """
+
+    __slots__ = ("_vectors", "_pending_vectors", "delivery_hook")
 
     def __init__(self) -> None:
         self._vectors: Dict[str, InterruptVector] = {}

@@ -28,6 +28,18 @@ class ProgrammableIntervalTimer:
 
     VECTOR_NAME = "pit"
 
+    __slots__ = (
+        "engine",
+        "clock",
+        "pic",
+        "frequency_hz",
+        "period_cycles",
+        "ticks",
+        "_vector",
+        "_assert_vector",
+        "_timer",
+    )
+
     def __init__(
         self,
         engine: Engine,
@@ -41,6 +53,12 @@ class ProgrammableIntervalTimer:
         self.frequency_hz = 0.0
         self.period_cycles = 0
         self.ticks = 0
+        # The PIT asserts the same line forever; binding the vector object
+        # and the controller's assert method here skips the per-tick
+        # name->vector lookup (the vector is registered before the machine
+        # constructs its PIT).
+        self._vector = pic.vector(self.VECTOR_NAME)
+        self._assert_vector = pic.assert_vector
         # The 1 kHz tick dominates loaded campaigns, so it runs on the
         # engine's allocation-free periodic fast path.
         self._timer: PeriodicHandle = engine.schedule_periodic(
@@ -84,4 +102,4 @@ class ProgrammableIntervalTimer:
 
     def _tick(self) -> None:
         self.ticks += 1
-        self.pic.assert_irq(self.VECTOR_NAME, self.engine.now)
+        self._assert_vector(self._vector, self.engine.now)

@@ -41,6 +41,27 @@ class Dpc:
         context: Arbitrary per-queue payload (the paper passes the IRP).
     """
 
+    # The drain reads ~10 of these per DPC run; slots keep that off a
+    # per-instance dict.  ``burn_cycles`` is owner scratch: pooled burn
+    # DPCs (see repro.kernel.intrusions) stash their fire-time cost here
+    # for the body's cost callable to read.
+    __slots__ = (
+        "routine",
+        "compiled",
+        "importance",
+        "name",
+        "module",
+        "mf_label",
+        "const_segs",
+        "context",
+        "queued",
+        "enqueued_at",
+        "enqueue_clock_assert",
+        "enqueue_count",
+        "run_count",
+        "burn_cycles",
+    )
+
     def __init__(
         self,
         routine: Callable,
@@ -78,6 +99,8 @@ class Dpc:
 
 class DpcQueue:
     """The system DPC queue."""
+
+    __slots__ = ("_queue", "max_depth", "total_enqueued")
 
     def __init__(self) -> None:
         self._queue: Deque[Dpc] = deque()

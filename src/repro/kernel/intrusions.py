@@ -31,6 +31,7 @@ import enum
 import itertools
 from collections import deque
 from dataclasses import dataclass, field, replace
+from heapq import heappush
 from math import log as _log
 from typing import Deque, List, Optional, Tuple
 
@@ -237,6 +238,8 @@ class IntrusionSource:
         self.total_ms = 0.0
         self._ms_to_cycles = kernel.clock.ms_to_cycles
         self._s_to_cycles = kernel.clock.s_to_cycles
+        self._engine = kernel.engine
+        self._hz = kernel.clock.hz
         self._vector_name: Optional[str] = None
         if spec.kind in (IntrusionKind.CLI, IntrusionKind.ISR):
             level = irql_mod.HIGH_LEVEL if spec.kind is IntrusionKind.CLI else spec.irql
@@ -244,8 +247,9 @@ class IntrusionSource:
                 f"intr-{spec.name}-{next(_uid)}", irql=level
             )
             self._vector = kernel.pic.vector(self._vector_name)
-            self._assert_vector = kernel.pic.assert_vector
-            self._engine = kernel.engine
+            # Fused assert+delivery hook (see Kernel._assert_from_source):
+            # two call frames fewer per fire than pic.assert_vector.
+            self._assert_vector = kernel._assert_from_source
             # One reusable compiled body: the cost callable reads the
             # duration sampled at fire time, exactly when the generator
             # body used to read it (its first instruction).  Connected as
@@ -312,7 +316,7 @@ class IntrusionSource:
         kind = spec.kind
         if kind is IntrusionKind.CLI or kind is IntrusionKind.ISR:
             self._duration_ms = duration_ms
-            self._assert_vector(self._vector, self._engine.now)
+            self._assert_vector(self._vector)
         elif kind is IntrusionKind.DPC:
             pool = self._burn_pool
             dpc = pool.pop() if pool else self._new_burn_dpc()
@@ -320,7 +324,18 @@ class IntrusionSource:
             self.kernel.queue_dpc(dpc)
         else:  # SECTION
             self.section_executor.submit(duration_ms, (spec.module, spec.function))
-        self._repost_in(self._fire_entry, self._s_to_cycles(delay_s))
+        # Engine.repost_in + Clock.s_to_cycles, inlined (one per arrival;
+        # the cycles expression must stay exactly `int(round(s * hz))` for
+        # parity with the out-of-line helpers).  The entry was just popped
+        # by the run loop, so rewriting it in place is safe.
+        engine = self._engine
+        seq = engine._seq + 1
+        engine._seq = seq
+        entry = self._fire_entry
+        entry[0] = engine.now + int(round(delay_s * self._hz))
+        entry[1] = seq
+        entry[4] = 0
+        heappush(engine._heap, entry)
 
     def _isr_cycles(self) -> int:
         """Cycle cost of the compiled ISR body (fire-time sampled duration)."""
@@ -399,9 +414,15 @@ class DeviceActivitySource:
         self._s_to_cycles = kernel.clock.s_to_cycles
         self._random = self.rng.random
         self._rate = spec.rate_hz
+        self._engine = kernel.engine
+        self._hz = kernel.clock.hz
         device = kernel.machine.device(spec.device)
         self.device = device
-        self._raise_irq = device.raise_irq
+        # Fused fire path: bump the device's own counter here and assert
+        # through Kernel._assert_from_source, skipping the raise_irq and
+        # pic.assert_vector frames (state updates are identical).
+        self._device_vector = device.vector
+        self._assert_vector = kernel._assert_from_source
         self._dpc = Dpc(
             routine=self._dpc_routine,
             importance=DpcImportance.MEDIUM,
@@ -443,11 +464,22 @@ class DeviceActivitySource:
 
     def _fire(self) -> None:
         self.fired += 1
-        self._raise_irq()
-        # expovariate(rate) inlined -- bit-identical to random.py's form.
-        self._repost_in(
-            self._fire_entry, self._s_to_cycles(-_log(1.0 - self._random()) / self._rate)
+        device = self.device
+        device.interrupts_raised += 1
+        self._assert_vector(self._device_vector)
+        # expovariate(rate), Engine.repost_in and Clock.s_to_cycles all
+        # inlined -- the float expressions are bit-identical to the
+        # out-of-line forms, so arrival streams are unchanged.
+        engine = self._engine
+        seq = engine._seq + 1
+        engine._seq = seq
+        entry = self._fire_entry
+        entry[0] = engine.now + int(
+            round(-_log(1.0 - self._random()) / self._rate * self._hz)
         )
+        entry[1] = seq
+        entry[4] = 0
+        heappush(engine._heap, entry)
 
     def _queue_device_dpc(self) -> None:
         self.kernel.queue_dpc(self._dpc)

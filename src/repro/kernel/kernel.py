@@ -22,7 +22,9 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from heapq import heappush
+from heapq import heappop, heappush
+from math import exp as _exp, log as _log
+from random import NV_MAGICCONST as _NV_MAGICCONST
 
 from repro.hw.machine import Machine
 from repro.hw.pic import InterruptVector
@@ -84,6 +86,17 @@ class FrameKind(enum.Enum):
     ISR = "isr"
     DPC = "dpc"
     THREAD = "thread"
+
+
+# Hot-path aliases: enum member and IRQL lookups resolve through two
+# attribute loads per use; the run loop touches these on every frame
+# transition, so the module-level names are bound once here.
+_FK_ISR = FrameKind.ISR
+_FK_DPC = FrameKind.DPC
+_FK_THREAD = FrameKind.THREAD
+_TS_RUNNING = ThreadState.RUNNING
+_TS_READY = ThreadState.READY
+_DISPATCH_LEVEL = irql_mod.DISPATCH_LEVEL
 
 
 class Frame:
@@ -190,6 +203,55 @@ class Kernel:
     #: infinite loops in driver code.
     MAX_ZERO_TIME_STEPS = 10_000
 
+    # Kernel state is probed on every delivery, run completion and
+    # dispatch; __slots__ keeps those loads out of an instance dict.
+    __slots__ = (
+        "machine",
+        "engine",
+        "clock",
+        "tsc",
+        "pic",
+        "trace",
+        "profile",
+        "costs",
+        "_isr_dispatch_cost",
+        "_dpc_dispatch_cost",
+        "_context_switch_cost",
+        "_quantum_cycles",
+        "_clock_isr_cost",
+        "_clock_run",
+        "_ms_to_cycles",
+        "_clock_hz",
+        "stats",
+        "_frame_pool",
+        "isr_stack",
+        "dpc_frame",
+        "dpc_queue",
+        "_pending_vectors",
+        "_dpc_deque",
+        "ready",
+        "current_thread",
+        "threads",
+        "_isr_factories",
+        "_isr_compiled",
+        "_isr_fn_names",
+        "_isr_info",
+        "_timers",
+        "_pit_hooks",
+        "_pit_hooks_draw_rng",
+        "fast_forward_enabled",
+        "_pit_vector",
+        "_pit_deliver_cycles",
+        "_sched_point_pending",
+        "_int_poll_pending",
+        "_in_kernel",
+        "_quantum_handle",
+        "_booted",
+        "bugchecked",
+        "last_clock_assert",
+        "_run_cli",
+    )
+
     def __init__(self, machine: Machine, profile: OsProfile):
         self.machine = machine
         self.engine = machine.engine
@@ -205,7 +267,12 @@ class Kernel:
         self._dpc_dispatch_cost = self.costs.dpc_dispatch
         self._context_switch_cost = self.costs.context_switch
         self._quantum_cycles = self.costs.quantum
+        self._clock_isr_cost = self.costs.clock_isr
+        # One immutable Run yielded by every clock tick (frozen dataclass,
+        # so sharing it across ticks is safe and skips a per-tick __init__).
+        self._clock_run = Run(self.costs.clock_isr, label=("HAL", "_clock_isr"))
         self._ms_to_cycles = self.clock.ms_to_cycles  # hot in _advance_segments
+        self._clock_hz = self.clock.hz  # inlined ms->cycles in _advance_segments
         self.stats = KernelStats()
         #: Free-list of finished ISR/DPC frames (thread frames live as long
         #: as their thread and are never pooled).  A recycled frame has been
@@ -235,6 +302,22 @@ class Kernel:
         self._isr_info: Dict[str, tuple] = {}
         self._timers: List[KTimer] = []
         self._pit_hooks: List[Callable[["Kernel", int], None]] = []
+        #: True once any installed PIT hook declared ``draws_rng=True``;
+        #: such a hook consumes random numbers per tick, so idle spans
+        #: containing hook runs can no longer be settled analytically.
+        self._pit_hooks_draw_rng = False
+        #: Master switch for idle-span fast-forward (see
+        #: :meth:`_try_fast_forward`).  On by default; the paired
+        #: determinism tests flip it off to prove the skipped spans were
+        #: byte-identical no-ops.
+        self.fast_forward_enabled = True
+        #: The PIT's interrupt vector and its pre-resolved delivery cost
+        #: (hardware latency + ISR dispatch), cached at boot for the
+        #: fast-forward eligibility math.  ``None`` until boot: fast
+        #: forward never engages on an unbooted kernel, whose "pit" vector
+        #: may be driven by arbitrary test harness ISRs.
+        self._pit_vector = None
+        self._pit_deliver_cycles = 0
         self._sched_point_pending = False
         self._int_poll_pending = False
         #: True while kernel frame machinery (a run-completion, deferred
@@ -244,6 +327,9 @@ class Kernel:
         #: callbacks deliver synchronously (see _interrupt_asserted).
         self._in_kernel = False
         self._quantum_handle = None
+        #: Mirrors the cli flag of the *active* run segment; only the
+        #: running frame can own an active segment, so one slot suffices.
+        self._run_cli = False
         self._booted = False
         #: Set when kernel-mode code faulted (see :class:`BugCheck`).
         self.bugchecked = False
@@ -270,6 +356,15 @@ class Kernel:
             return
         self._booted = True
         self.connect_interrupt("pit", self._clock_isr_factory)
+        # Cache what the idle-span fast-forward needs per eligibility
+        # check.  Setting _pit_vector is also the arming condition: boot
+        # raises above if "pit" was already connected, so from here on the
+        # PIT ISR is guaranteed to be the stock clock ISR whose per-tick
+        # work the batch settle replicates.
+        self._pit_vector = self.pic.vector("pit")
+        self._pit_deliver_cycles = (
+            self._pit_vector.latency_cycles + self._isr_dispatch_cost
+        )
         self.machine.pit.start()
 
     # ==================================================================
@@ -284,7 +379,7 @@ class Kernel:
         without a factory trampoline; costs are still resolved at segment
         start, so RNG draw order is unchanged).
         """
-        self.pic.vector(vector_name)  # validates existence
+        vector = self.pic.vector(vector_name)  # validates existence
         if vector_name in self._isr_factories:
             raise KernelError(f"vector {vector_name!r} already connected")
         self._isr_factories[vector_name] = factory
@@ -303,6 +398,12 @@ class Kernel:
             fn_name,
             ("HAL", fn_name),
             const_segs,
+            # Pre-resolved synchronous delivery cost: hardware latency plus
+            # the OS's ISR dispatch scalar.  _deliver uses it whenever the
+            # interrupt is taken at its assertion instant (the common case
+            # from plain hardware callbacks), skipping the residual-latency
+            # arithmetic.
+            vector.latency_cycles + self._isr_dispatch_cost,
         )
 
     def register_intrusion_vector(self, name: str, irql: int, latency_us: float = 0.5) -> str:
@@ -320,7 +421,9 @@ class Kernel:
         )
         return name
 
-    def install_pit_hook(self, hook: Callable[["Kernel", int], None]) -> None:
+    def install_pit_hook(
+        self, hook: Callable[["Kernel", int], None], draws_rng: bool = False
+    ) -> None:
         """Install a handler that runs at the clock ISR's first instruction.
 
         This is the simulation analogue of the paper's two IDT tricks: the
@@ -328,8 +431,17 @@ class Kernel:
         (section 2.2) and the latency-cause tool's PIT hook (section 2.3).
         The hook receives ``(kernel, asserted_at_cycles)`` and runs before
         the OS clock ISR body, in zero simulated time.
+
+        ``draws_rng`` declares that the hook consumes random numbers (or,
+        more generally, schedules engine events) per tick.  The idle-span
+        fast-forward replays hooks at their exact simulated instants, which
+        is only equivalent to real execution for pure-bookkeeping hooks;
+        a ``draws_rng=True`` hook disqualifies every span whose hooks would
+        have run, keeping RNG stream order byte-identical.
         """
         self._pit_hooks.append(hook)
+        if draws_rng:
+            self._pit_hooks_draw_rng = True
 
     def create_thread(
         self,
@@ -342,7 +454,7 @@ class Kernel:
     ) -> KThread:
         """``PsCreateSystemThread``: create (and by default start) a thread."""
         thread = KThread(name=name, priority=priority, body=body, module=module, system=system)
-        frame = Frame(FrameKind.THREAD, irql_mod.PASSIVE_LEVEL, thread, module, name)
+        frame = Frame(_FK_THREAD, irql_mod.PASSIVE_LEVEL, thread, module, name)
         frame.gen = body(self, thread)
         thread.frame = frame
         self.threads.append(thread)
@@ -353,7 +465,7 @@ class Kernel:
     def start_thread(self, thread: KThread) -> None:
         if thread.state is not ThreadState.INITIALIZED:
             raise KernelError(f"thread {thread.name!r} already started")
-        thread.state = ThreadState.READY
+        thread.state = _TS_READY
         self.ready.enqueue(thread)
         self._request_schedule_point()
 
@@ -364,7 +476,7 @@ class Kernel:
         thread.base_priority = priority
         if thread.priority == priority:
             return
-        if thread.state is ThreadState.READY:
+        if thread.state is _TS_READY:
             self.ready.remove(thread)
             thread.priority = priority
             self.ready.enqueue(thread)
@@ -404,7 +516,7 @@ class Kernel:
     def release_mutex(self, mutex: KMutex) -> None:
         """``KeReleaseMutex``: must be called by the owning thread."""
         frame = self._running_frame()
-        if frame is None or frame.kind is not FrameKind.THREAD:
+        if frame is None or frame.kind is not _FK_THREAD:
             raise KernelError("release_mutex outside thread context")
         if mutex.release(frame.owner):
             self._release_waiters(mutex)
@@ -415,16 +527,34 @@ class Kernel:
         """``KeInsertQueueDpc``: legal from any context, including ISRs."""
         if importance is not None:
             dpc.importance = importance
-        inserted = self.dpc_queue.insert(dpc, self.engine.now, context)
-        if inserted:
-            dpc.enqueue_clock_assert = self.last_clock_assert
-            # From ISR/DPC context the unwind at frame completion starts
-            # the drain; a deferred schedule point would fire while the
-            # frame is still active and no-op.  Only thread/setup context
-            # needs the zero-time dispatcher check.
-            if not self.isr_stack and self.dpc_frame is None:
-                self._request_schedule_point()
-        return inserted
+        # DpcQueue.insert, inlined (one call saved per enqueue; kept in
+        # lockstep with the out-of-line method, which remains the public
+        # API for direct queue users).
+        if dpc.queued:
+            return False
+        dpc.queued = True
+        dpc.enqueued_at = self.engine.now
+        dpc.enqueue_count += 1
+        if context is not None:
+            dpc.context = context
+        queue = self.dpc_queue
+        deque_ = self._dpc_deque
+        if dpc.importance is DpcImportance.HIGH:
+            deque_.appendleft(dpc)
+        else:
+            deque_.append(dpc)
+        queue.total_enqueued += 1
+        depth = len(deque_)
+        if depth > queue.max_depth:
+            queue.max_depth = depth
+        dpc.enqueue_clock_assert = self.last_clock_assert
+        # From ISR/DPC context the unwind at frame completion starts
+        # the drain; a deferred schedule point would fire while the
+        # frame is still active and no-op.  Only thread/setup context
+        # needs the zero-time dispatcher check.
+        if not self.isr_stack and self.dpc_frame is None:
+            self._request_schedule_point()
+        return True
 
     def create_timer(self, name: str = "") -> KTimer:
         return KTimer(name=name)
@@ -469,7 +599,7 @@ class Kernel:
     def raise_irql(self, level: int) -> int:
         """``KeRaiseIrql`` from thread context; returns the old level."""
         frame = self._running_frame()
-        if frame is None or frame.kind is not FrameKind.THREAD:
+        if frame is None or frame.kind is not _FK_THREAD:
             raise KernelError("raise_irql is only modelled for thread context")
         old = frame.irql
         if level < old:
@@ -480,7 +610,7 @@ class Kernel:
     def lower_irql(self, level: int) -> None:
         """``KeLowerIrql``: may unblock DPC draining and preemption."""
         frame = self._running_frame()
-        if frame is None or frame.kind is not FrameKind.THREAD:
+        if frame is None or frame.kind is not _FK_THREAD:
             raise KernelError("lower_irql is only modelled for thread context")
         if level > frame.irql:
             raise KernelError(f"cannot lower IRQL upwards ({frame.irql} -> {level})")
@@ -503,8 +633,8 @@ class Kernel:
         frame = self._running_frame()
         if frame is None:
             return irql_mod.PASSIVE_LEVEL
-        if frame.kind is FrameKind.DPC:
-            return irql_mod.DISPATCH_LEVEL
+        if frame.kind is _FK_DPC:
+            return _DISPATCH_LEVEL
         return frame.irql
 
     def current_execution_label(self) -> Tuple[str, str]:
@@ -583,6 +713,39 @@ class Kernel:
         self._poll_interrupts()
         self._in_kernel = False
 
+    def _assert_from_source(self, vector: InterruptVector) -> None:
+        """``pic.assert_vector`` fused with the delivery hook.
+
+        Steady hot sources (intrusion ISRs, device completions) assert
+        from plain hardware callbacks thousands of times per simulated
+        second; fusing the controller's assert with the kernel's delivery
+        hook saves two call frames per assertion.  Kept in lockstep with
+        :meth:`InterruptController.assert_vector` and
+        :meth:`_interrupt_asserted`; ``_pending_vectors`` is the live
+        alias of the controller's own pending list, so controller-side
+        state stays exact.
+        """
+        vector.assertions += 1
+        if vector.asserted_at is not None:
+            vector.coalesced += 1
+            return
+        engine = self.engine
+        vector.asserted_at = engine.now
+        self._pending_vectors.append(vector)
+        if self._in_kernel:
+            if not self._int_poll_pending:
+                self._int_poll_pending = True
+                seq = engine._seq + 1
+                engine._seq = seq
+                heappush(
+                    engine._heap,
+                    [engine.now, seq, self._deferred_interrupt_poll, (), 0],
+                )
+            return
+        self._in_kernel = True
+        self._poll_interrupts()
+        self._in_kernel = False
+
     def _request_interrupt_poll(self) -> None:
         if self._int_poll_pending:
             return
@@ -611,7 +774,7 @@ class Kernel:
             irql = frame.irql
         elif self.dpc_frame is not None:
             frame = self.dpc_frame
-            irql = irql_mod.DISPATCH_LEVEL
+            irql = _DISPATCH_LEVEL
         elif self.current_thread is not None:
             frame = self.current_thread.frame
             irql = frame.irql
@@ -662,27 +825,45 @@ class Kernel:
                 fn_name,
                 ("HAL", fn_name),
                 None,
+                vector.latency_cycles + self._isr_dispatch_cost,
             )
-        factory, compiled, fn_name, mf_label, const_segs = info
+        factory, compiled, fn_name, mf_label, const_segs, deliver_cycles = info
+        engine = self.engine
         pool = self._frame_pool
         if pool:
-            frame = pool.pop().reset(
-                FrameKind.ISR, vector.irql, vector, "HAL", fn_name, mf_label
-            )
+            # Frame.reset, slimmed to the fields a pooled frame actually
+            # dirties: _frame_finished cleared gen/owner/segs, the final
+            # run completion left run_end None / run_remaining 0 /
+            # seg_running False, and the generator driver nulls send_value
+            # per step -- so only the identity fields, the started flag,
+            # the stale run label and the segment cursor need rewriting.
+            frame = pool.pop()
+            frame.kind = _FK_ISR
+            frame.irql = vector.irql
+            frame.owner = vector
+            frame.module = "HAL"
+            frame.function = fn_name
+            frame.mf_label = mf_label
+            frame.gen_started = False
+            frame.run_label = None
+            frame.seg_index = 0
         else:
-            frame = Frame(FrameKind.ISR, vector.irql, vector, "HAL", fn_name)
+            frame = Frame(_FK_ISR, vector.irql, vector, "HAL", fn_name)
+            frame.mf_label = mf_label
         if const_segs is not None:
-            # Side-effect-free constant body: install the tuple directly
-            # (reset left seg_index=0, seg_running=False).
+            # Side-effect-free constant body: install the tuple directly.
             frame.segs = const_segs
+            engine.tape_frames += 1
         elif compiled:
             # Defer the factory call to the frame's first instruction so
             # its side effects run at the same simulated instant a
             # generator body's first send would have.
             frame.seg_factory = factory
             frame.seg_args = (self, vector, asserted_at)
+            engine.tape_frames += 1
         else:
             frame.gen = factory(self, vector, asserted_at)
+            engine.interpreted_frames += 1
         isr_stack = self.isr_stack
         isr_stack.append(frame)
         stats = self.stats
@@ -693,14 +874,19 @@ class Kernel:
             stats.isr_nest_max = len(isr_stack)
         trace = self.trace
         if trace.enabled:
-            trace.emit(self.engine.now, "irq", f"deliver {name}", irql=vector.irql)
+            trace.emit(engine.now, "irq", f"deliver {name}", irql=vector.irql)
         # Charge the residual hardware latency plus software dispatch cost
         # before the ISR's first instruction executes (fresh frame, so
         # _resume_frame's run_remaining term is zero and is skipped).
-        hw_residual = asserted_at + vector.latency_cycles - self.engine.now
-        if hw_residual < 0:
-            hw_residual = 0
-        cycles = hw_residual + self._isr_dispatch_cost
+        # Synchronous delivery (taken at the assertion instant) is the
+        # common case and uses the cost pre-resolved at connect time.
+        if asserted_at == engine.now:
+            cycles = deliver_cycles
+        else:
+            hw_residual = asserted_at + vector.latency_cycles - engine.now
+            if hw_residual < 0:
+                hw_residual = 0
+            cycles = hw_residual + self._isr_dispatch_cost
         if cycles > 0:
             self._begin_run(frame, cycles, False, None)
         else:
@@ -709,10 +895,6 @@ class Kernel:
     # ==================================================================
     # Frame execution machinery
     # ==================================================================
-    # _run_cli mirrors the cli flag of the *active* run segment; only the
-    # running frame can own an active segment, so one slot suffices.
-    _run_cli = False
-
     def _begin_run(self, frame: Frame, cycles: int, cli: bool, label) -> None:
         frame.run_label = label
         self._run_cli = cli
@@ -760,7 +942,28 @@ class Kernel:
         cycles = extra_cycles + frame.run_remaining
         frame.run_remaining = 0
         if cycles > 0:
-            self._begin_run(frame, cycles, cli=False, label=frame.run_label)
+            # _begin_run, inlined (hot: every unwind/switch resumes a
+            # frame); run_label is already the resumed segment's label so
+            # it needs no write.  Kept in lockstep with _begin_run.
+            self._run_cli = False
+            if cycles.__class__ is not int:
+                cycles = int(cycles)
+            engine = self.engine
+            seq = engine._seq + 1
+            engine._seq = seq
+            handle = frame.run_entry
+            if handle is not None and handle[_RUN_STATE] == _RUN_FIRED:
+                handle[_RUN_TIME] = engine.now + cycles
+                handle[_RUN_SEQ] = seq
+                handle[_RUN_STATE] = _RUN_PENDING
+            else:
+                frame.run_entry = handle = EventHandle(
+                    (engine.now + cycles, seq, self._run_complete, (frame,), 0, engine)
+                )
+            frame.run_end = handle
+            heappush(engine._heap, handle)
+            if self._pending_vectors:
+                self._poll_interrupts()
         else:
             self._continue_frame(frame)
 
@@ -768,7 +971,7 @@ class Kernel:
         self._in_kernel = True
         frame.run_end = None
         self._run_cli = False
-        if frame.kind is FrameKind.THREAD:
+        if frame.kind is _FK_THREAD:
             thread = frame.owner
             # Quantum may have expired while this segment was in a cli
             # region or while interrupts had the CPU.
@@ -779,7 +982,15 @@ class Kernel:
         # run segment and the extra call frame showed up in profiles.
         segs = frame.segs
         if segs is not None:
-            self._advance_segments(frame, segs)
+            # Tape fast-finish: the final segment of a body with no
+            # after-hook just completed, so the frame is done -- skip the
+            # walker (its only remaining work would be the cursor dance).
+            if frame.seg_running and segs.tail_fast and frame.seg_index == segs.last_index:
+                frame.seg_running = False
+                frame.seg_index += 1
+                self._frame_finished(frame)
+            else:
+                self._advance_segments(frame, segs)
         elif frame.seg_factory is not None:
             self._enter_segments(frame)
         else:
@@ -837,36 +1048,62 @@ class Kernel:
         pauses the active Run exactly as on the generator path; this method
         only runs at genuine segment boundaries.
         """
+        # Walk the pre-compiled tape (see Segments): one flat tuple unpack
+        # per segment replaces eight attribute loads on the Segment object.
+        tape = segs.tape
         i = frame.seg_index
-        n = len(segs)
+        n = len(tape)
         try:
             if frame.seg_running:
                 # The segment whose Run just completed: fire its after-hook
                 # (the code between this yield and the next) and move on.
                 frame.seg_running = False
-                after = segs[i].after
+                after = tape[i][7]
                 i += 1
                 frame.seg_index = i
                 if after is not None:
                     after()
             while i < n:
-                seg = segs[i]
-                cycles = seg.cycles
+                cycles, sample, dist, rng, cost_fn, cli, label, after = tape[i]
                 if cycles is None:
-                    sample = seg.sample
                     if sample is not None:
-                        cycles = self._ms_to_cycles(sample(seg.dist))
-                    elif seg.dist is not None:
-                        cycles = self._ms_to_cycles(seg.dist.sample_ms(seg.rng))
+                        # RngStream.sample_ms_fast and clock.ms_to_cycles,
+                        # inlined (one call saved per distribution-cost
+                        # segment).  Kept in lockstep with both: the draw
+                        # sequence, the Kinderman-Monahan loop and the
+                        # `ms * hz / 1000.0` conversion must stay
+                        # expression-identical for bit-for-bit RNG parity.
+                        if dist.tail_prob > 0.0 and rng.random() < dist.tail_prob:
+                            value = dist.tail_scale_ms * (
+                                1.0 + rng._paretovariate(dist.tail_alpha) - 1.0
+                            )
+                        else:
+                            rand = rng.random
+                            while True:
+                                u1 = rand()
+                                u2 = 1.0 - rand()
+                                z = _NV_MAGICCONST * (u1 - 0.5) / u2
+                                if z * z / 4.0 <= -_log(u2):
+                                    break
+                            value = _exp(dist._log_body_median + z * dist.body_sigma)
+                        max_ms = dist.max_ms
+                        if value > max_ms:
+                            value = max_ms
+                        else:
+                            min_ms = dist.min_ms
+                            if value < min_ms:
+                                value = min_ms
+                        cycles = int(round(value * self._clock_hz / 1_000.0))
+                    elif dist is not None:
+                        cycles = int(round(dist.sample_ms(rng) * self._clock_hz / 1_000.0))
                     else:
-                        cycles = seg.cost_fn()
+                        cycles = cost_fn()
                 if cycles > 0:
                     frame.seg_index = i
                     frame.seg_running = True
                     # _begin_run, inlined (the hottest begin site: one per
                     # compiled segment).  Kept in lockstep with _begin_run.
-                    frame.run_label = seg.label
-                    cli = seg.cli
+                    frame.run_label = label
                     self._run_cli = cli
                     if cycles.__class__ is not int:
                         cycles = int(cycles)
@@ -887,7 +1124,6 @@ class Kernel:
                     if not cli and self._pending_vectors:
                         self._poll_interrupts()
                     return
-                after = seg.after
                 i += 1
                 frame.seg_index = i
                 if after is not None:
@@ -932,9 +1168,32 @@ class Kernel:
                     at_cycles=self.engine.now,
                 ) from exc
             if isinstance(request, Run):
-                if request.cycles <= 0:
+                cycles = request.cycles
+                if cycles <= 0:
                     continue
-                self._begin_run(frame, request.cycles, request.cli, request.label)
+                # _begin_run, inlined (one call saved per generator yield).
+                # Kept in lockstep with _begin_run.
+                frame.run_label = request.label
+                cli = request.cli
+                self._run_cli = cli
+                if cycles.__class__ is not int:
+                    cycles = int(cycles)
+                engine = self.engine
+                seq = engine._seq + 1
+                engine._seq = seq
+                handle = frame.run_entry
+                if handle is not None and handle[_RUN_STATE] == _RUN_FIRED:
+                    handle[_RUN_TIME] = engine.now + cycles
+                    handle[_RUN_SEQ] = seq
+                    handle[_RUN_STATE] = _RUN_PENDING
+                else:
+                    frame.run_entry = handle = EventHandle(
+                        (engine.now + cycles, seq, self._run_complete, (frame,), 0, engine)
+                    )
+                frame.run_end = handle
+                heappush(engine._heap, handle)
+                if not cli and self._pending_vectors:
+                    self._poll_interrupts()
                 return
             if isinstance(request, Wait):
                 if self._handle_wait(frame, request):
@@ -947,7 +1206,7 @@ class Kernel:
             raise KernelError(f"unknown request {request!r} from {frame!r}")
 
     def _frame_finished(self, frame: Frame) -> None:
-        if frame.kind is FrameKind.ISR:
+        if frame.kind is _FK_ISR:
             popped = self.isr_stack.pop()
             if popped is not frame:  # pragma: no cover - invariant
                 raise KernelError("ISR stack corruption")
@@ -969,7 +1228,7 @@ class Kernel:
                 if self._maybe_start_dpc_drain():
                     return
             self._dispatch()
-        elif frame.kind is FrameKind.DPC:
+        elif frame.kind is _FK_DPC:
             self.dpc_frame = None
             self.stats.dpcs_executed += 1
             frame.gen = None
@@ -1013,8 +1272,8 @@ class Kernel:
         cur = self.current_thread
         return (
             cur is not None
-            and cur.frame.irql >= irql_mod.DISPATCH_LEVEL
-            and cur.state is ThreadState.RUNNING
+            and cur.frame.irql >= _DISPATCH_LEVEL
+            and cur.state is _TS_RUNNING
         )
 
     def _maybe_start_dpc_drain(self) -> bool:
@@ -1028,8 +1287,8 @@ class Kernel:
         cur = self.current_thread
         if (
             cur is not None
-            and cur.frame.irql >= irql_mod.DISPATCH_LEVEL
-            and cur.state is ThreadState.RUNNING
+            and cur.frame.irql >= _DISPATCH_LEVEL
+            and cur.state is _TS_RUNNING
         ):
             return False
         if cur is not None:
@@ -1039,23 +1298,37 @@ class Kernel:
         dpc.queued = False
         pool = self._frame_pool
         if pool:
-            frame = pool.pop().reset(
-                FrameKind.DPC, irql_mod.DISPATCH_LEVEL, dpc, dpc.module, dpc.name, dpc.mf_label
-            )
+            # Frame.reset slimmed to the fields a pooled frame dirties
+            # (same invariants as the _deliver reuse path).
+            frame = pool.pop()
+            frame.kind = _FK_DPC
+            frame.irql = _DISPATCH_LEVEL
+            frame.owner = dpc
+            frame.module = dpc.module
+            frame.function = dpc.name
+            frame.mf_label = dpc.mf_label
+            frame.gen_started = False
+            frame.run_label = None
+            frame.seg_index = 0
         else:
-            frame = Frame(FrameKind.DPC, irql_mod.DISPATCH_LEVEL, dpc, dpc.module, dpc.name)
+            frame = Frame(_FK_DPC, _DISPATCH_LEVEL, dpc, dpc.module, dpc.name)
+            frame.mf_label = dpc.mf_label
         const_segs = dpc.const_segs
+        engine = self.engine
         if const_segs is not None:
             # Constant compiled body: run_count is a pure counter, so the
             # bump can move from exec time to here without observable
             # effect; the tuple goes straight onto the frame.
             dpc.run_count += 1
             frame.segs = const_segs
+            engine.tape_frames += 1
         elif dpc.compiled:
             frame.seg_factory = self._compiled_dpc_enter
             frame.seg_args = (dpc,)
+            engine.tape_frames += 1
         else:
             frame.gen = self._dpc_body(dpc)
+            engine.interpreted_frames += 1
         self.dpc_frame = frame
         if self.trace.enabled:
             self.trace.emit(self.engine.now, "dpc", f"run {dpc.name}")
@@ -1085,7 +1358,7 @@ class Kernel:
     # ==================================================================
     def _handle_wait(self, frame: Frame, request: Wait) -> bool:
         """Returns True if the wait was satisfied without blocking."""
-        if frame.kind is not FrameKind.THREAD:
+        if frame.kind is not _FK_THREAD:
             raise KernelError(f"Wait from {frame.kind.value} context is illegal in WDM")
         thread: KThread = frame.owner
         obj: DispatcherObject = request.obj
@@ -1113,7 +1386,7 @@ class Kernel:
 
     def _handle_wait_any(self, frame: Frame, request: WaitAny) -> bool:
         """Returns True if some object satisfied the wait without blocking."""
-        if frame.kind is not FrameKind.THREAD:
+        if frame.kind is not _FK_THREAD:
             raise KernelError(f"WaitAny from {frame.kind.value} context is illegal in WDM")
         thread: KThread = frame.owner
         for index, obj in enumerate(request.objs):
@@ -1189,7 +1462,7 @@ class Kernel:
         else:
             thread.frame.send_value = status
         thread.waiting_on = None
-        thread.state = ThreadState.READY
+        thread.state = _TS_READY
         thread.waits_satisfied += 1
         if status is WaitStatus.OBJECT:
             self._apply_wait_boost(thread)
@@ -1222,7 +1495,7 @@ class Kernel:
             self._maybe_start_dpc_drain()
         elif cur is None:
             self._dispatch()
-        elif cur.frame.irql >= irql_mod.DISPATCH_LEVEL:
+        elif cur.frame.irql >= _DISPATCH_LEVEL:
             pass  # raised-IRQL thread is not preemptible by the scheduler
         elif self.ready._mask.bit_length() - 1 > cur.priority:
             self._pause_run(cur.frame)
@@ -1232,10 +1505,13 @@ class Kernel:
     def _dispatch(self) -> None:
         """Pick the next thread.  ISR stack and DPC frame must be idle."""
         cur = self.current_thread
-        if cur is not None and not cur.runnable:
+        if cur is not None and cur.state is not _TS_RUNNING and (
+            cur.state is not _TS_READY
+        ):
+            # not cur.runnable, inlined (hot: every dispatch).
             self.current_thread = None
             cur = None
-        if cur is not None and cur.frame.irql >= irql_mod.DISPATCH_LEVEL:
+        if cur is not None and cur.frame.irql >= _DISPATCH_LEVEL:
             self._resume_frame(cur.frame)
             return
         # highest_priority(), inlined (hot: every dispatch).
@@ -1243,14 +1519,28 @@ class Kernel:
         if cur is None:
             if top < 0:
                 self.stats.idle_entries += 1
-                return  # CPU idle; interrupts will wake us
+                # CPU idle; interrupts will wake us.  If the only imminent
+                # work is inert clock ticks, batch-settle them analytically
+                # (guards ordered cheapest-first; _pit_vector is None until
+                # boot has installed the stock clock ISR).
+                if (
+                    self.fast_forward_enabled
+                    and self._pit_vector is not None
+                    and self.engine._run_target is not None
+                    and not self._pending_vectors
+                    and not self._dpc_deque
+                    and not self._pit_hooks_draw_rng
+                    and not self.trace.enabled
+                ):
+                    self._try_fast_forward()
+                return
             self._switch_to(self.ready.pop_highest())
             return
         if top > cur.priority:
             # Preempt: the paused current thread goes to the head of its level.
             self._pause_run(cur.frame)
             self._cancel_quantum()
-            cur.state = ThreadState.READY
+            cur.state = _TS_READY
             self.ready.enqueue(cur, front=True)
             self.stats.thread_preemptions += 1
             self._switch_to(self.ready.pop_highest())
@@ -1261,10 +1551,118 @@ class Kernel:
         cur.quantum_expired_flag = False
         self._resume_frame(cur.frame)
 
+    def _try_fast_forward(self) -> None:
+        """Batch-settle provably-inert PIT ticks without executing them.
+
+        Called from the idle branch of :meth:`_dispatch` once the cheap
+        guards have passed: kernel booted (stock clock ISR on "pit"), CPU
+        fully idle (no ISR/DPC/thread frames -- a dispatch precondition),
+        no pending vectors, no queued DPCs, tracing off, no RNG-drawing
+        PIT hooks, and the engine inside ``run_until`` (a horizon exists).
+
+        Eligibility is then decided against the heap: the next live event
+        must be the PIT tick itself, and every settled tick's full
+        processing chain (delivery + clock-ISR body) must complete
+        strictly before (a) the next non-tick heap event, (b) the earliest
+        software-timer due time (timers are polled *by* the clock ISR, so
+        a due timer makes a tick non-inert), and (c) at or before the
+        ``run_until`` target (a tick that crosses the horizon is left to
+        the interpreted path, which handles the split across calls).
+
+        For the eligible span the engine state is advanced analytically:
+        per-tick counters, seq numbers and ``events_processed`` are
+        replicated exactly, the recycled tick entry is re-armed once with
+        the seq it would have carried, and PIT hooks (which may read the
+        TSC) are replayed at their precise delivery instants.  The RNG is
+        untouched -- settled ticks draw nothing by construction -- so
+        sample streams are byte-identical with fast-forward off.
+        """
+        engine = self.engine
+        heap = engine._heap
+        # Clear lazily-cancelled roots so heap[0] is a live entry.
+        while heap and heap[0][2] is None:
+            heappop(heap)
+            engine._dead -= 1
+        if not heap:
+            return
+        pit = self.machine.pit
+        timer = pit._timer
+        entry = timer._entry
+        if entry is None or heap[0] is not entry:
+            return  # next event is not the clock tick
+        d1 = self._pit_deliver_cycles
+        d2 = self._clock_isr_cost
+        tick_cost = d1 + d2
+        period = timer.period
+        if tick_cost >= period:
+            return  # back-to-back ticks never leave an idle span
+        t1 = entry[0]
+        bound = engine._run_target
+        # The second-smallest heap time is one of the root's children;
+        # cancelled entries keep their (earlier-or-equal) times, so using
+        # one only tightens the bound.
+        n = len(heap)
+        if n > 1:
+            other = heap[1][0]
+            if n > 2 and heap[2][0] < other:
+                other = heap[2][0]
+            if other <= bound:
+                bound = other - 1
+        for kt in self._timers:
+            due = kt.due_cycles
+            if due is not None and due <= bound:
+                bound = due - 1
+        k = (bound - tick_cost - t1) // period + 1
+        if k <= 0:
+            return
+        t_last = t1 + (k - 1) * period
+        hooks = self._pit_hooks
+        if hooks:
+            # Replay hooks at their exact delivery instants so TSC reads
+            # observe the same values as real execution.
+            t = t1
+            for _ in range(k):
+                self.last_clock_assert = t
+                engine.now = t + d1
+                for hook in hooks:
+                    hook(self, t)
+                t += period
+        else:
+            self.last_clock_assert = t_last
+        engine.now = t_last + tick_cost
+        # Replicate what k interpreted ticks would have recorded: three
+        # events and three seqs per tick (re-arm, delivery run, ISR-body
+        # run), one delivered interrupt, one generator frame, one idle
+        # re-entry each.
+        spt = 1 + (d1 > 0) + (d2 > 0)
+        seq0 = engine._seq
+        engine._seq = seq0 + spt * k
+        engine.events_processed += spt * k
+        engine.interpreted_frames += k
+        engine.spans_fast_forwarded += 1
+        engine.ticks_fast_forwarded += k
+        pit.ticks += k
+        vector = self._pit_vector
+        vector.assertions += k
+        stats = self.stats
+        stats.interrupts_delivered += k
+        stats.idle_entries += k
+        per_vector = stats.per_vector
+        per_vector["pit"] = per_vector.get("pit", 0) + k
+        if stats.isr_nest_max < 1:
+            stats.isr_nest_max = 1
+        # Re-arm the recycled tick entry exactly as the k-th tick's own
+        # re-arm would have: fired at t_last, next due one period later,
+        # carrying the first seq drawn during that tick's processing.
+        heappop(heap)
+        entry[0] = t_last + period
+        entry[1] = seq0 + spt * (k - 1) + 1
+        heappush(heap, entry)
+
     def _switch_to(self, thread: KThread) -> None:
         assert thread is not None
         previous = self.current_thread
-        thread.state = ThreadState.RUNNING
+        thread.state = _TS_RUNNING
         thread.dispatches += 1
         thread.quantum_expired_flag = False
         self.current_thread = thread
@@ -1291,7 +1689,7 @@ class Kernel:
 
     def _quantum_fire(self, thread: KThread) -> None:
         self._quantum_handle = None
-        if thread is not self.current_thread or thread.state is not ThreadState.RUNNING:
+        if thread is not self.current_thread or thread.state is not _TS_RUNNING:
             return
         thread.quantum_expiries += 1
         if self.isr_stack or self.dpc_frame is not None or self._run_cli:
@@ -1299,7 +1697,7 @@ class Kernel:
             # transition handle the rotation.
             thread.quantum_expired_flag = True
             return
-        if thread.frame.irql >= irql_mod.DISPATCH_LEVEL:
+        if thread.frame.irql >= _DISPATCH_LEVEL:
             thread.quantum_expired_flag = True
             return
         self._in_kernel = True
@@ -1316,7 +1714,7 @@ class Kernel:
         """Round-robin: expired thread to the tail of its priority level."""
         thread.quantum_expired_flag = False
         self._cancel_quantum()
-        thread.state = ThreadState.READY
+        thread.state = _TS_READY
         self._decay_boost(thread)
         self.ready.enqueue(thread, front=False)
         self.current_thread = None
@@ -1330,7 +1728,7 @@ class Kernel:
         if thread is not self.current_thread:
             thread.quantum_expired_flag = False
             return False
-        if thread.frame.irql >= irql_mod.DISPATCH_LEVEL:
+        if thread.frame.irql >= _DISPATCH_LEVEL:
             return False
         if self.ready.has_ready_at(thread.priority):
             self._rotate_quantum(thread)
@@ -1350,7 +1748,7 @@ class Kernel:
         self.last_clock_assert = asserted_at
         for hook in self._pit_hooks:
             hook(self, asserted_at)
-        yield Run(self.costs.clock_isr, label=("HAL", "_clock_isr"))
+        yield self._clock_run
         expired = self._collect_expired_timers()
         if expired:
             yield Run(self.costs.timer_expiry * len(expired), label=("NTKERN", "_KiTimerExpiry"))

@@ -27,6 +27,10 @@ class WaitStatus(enum.Enum):
 class DispatcherObject:
     """Base class for everything a thread can wait on."""
 
+    # Dispatcher objects sit on the wait/wake hot paths; slotted layouts
+    # (here and in each subclass) keep state loads off per-instance dicts.
+    __slots__ = ("name", "waiters", "signal_count")
+
     def __init__(self, name: str = ""):
         self.name = name
         self.waiters: List["KThread"] = []
@@ -71,6 +75,8 @@ class KEvent(DispatcherObject):
         initial_state: Whether the event starts signalled.
     """
 
+    __slots__ = ("synchronization", "signaled")
+
     def __init__(self, synchronization: bool = True, initial_state: bool = False, name: str = ""):
         super().__init__(name=name)
         self.synchronization = synchronization
@@ -107,6 +113,8 @@ class KEvent(DispatcherObject):
 
 class KSemaphore(DispatcherObject):
     """A counted semaphore (``KeReleaseSemaphore``/wait)."""
+
+    __slots__ = ("count", "maximum")
 
     def __init__(self, initial: int = 0, maximum: int = 0x7FFFFFFF, name: str = ""):
         super().__init__(name=name)
@@ -147,6 +155,8 @@ class KMutex(DispatcherObject):
     current owner); ``release`` (via ``Kernel.release_mutex``) drops one
     recursion level and, at zero, hands the mutex to the next waiter FIFO.
     """
+
+    __slots__ = ("owner", "recursion", "acquisitions")
 
     def __init__(self, name: str = ""):
         super().__init__(name=name)
@@ -207,6 +217,8 @@ class KTimer(DispatcherObject):
     signals the timer object.  NT 4.0 added periodic timers (the paper notes
     this); ``period_ms`` models them.
     """
+
+    __slots__ = ("signaled", "due_cycles", "period_ms", "dpc", "expirations")
 
     def __init__(self, name: str = ""):
         super().__init__(name=name)

@@ -124,9 +124,34 @@ class Segments(tuple):
     allocation -- while keeping preemption points and IRQL semantics
     identical to the generator path.  Bodies that need :class:`Wait` (or
     data-dependent control flow) keep using generators.
+
+    Construction also compiles the body to a flat *tape*: one plain tuple
+    per segment holding every field the kernel's walker reads, in slot
+    order.  The walker unpacks one tape record per segment instead of
+    doing eight attribute loads on the :class:`Segment`, and two
+    pre-resolved scalars (``last_index``, ``tail_fast``) let the run-end
+    callback finish a frame whose final segment has no after-hook without
+    re-entering the walker at all.  The tape is pure pre-resolution --
+    costs (RNG draws included) are still evaluated when each segment
+    starts executing, so stream order is untouched.
+
+    Note: tuple subclasses cannot carry nonempty ``__slots__``, so the
+    tape lives in the instance ``__dict__``; bodies are compiled once at
+    connect/queue time and reused for every execution, so the dict is a
+    one-time cost.
     """
 
-    __slots__ = ()
+    def __init__(self, _segments=()):
+        # tuple.__new__ already consumed the iterable; compile the tape
+        # from our own elements.
+        self.tape = tuple(
+            (s.cycles, s.sample, s.dist, s.rng, s.cost_fn, s.cli, s.label, s.after)
+            for s in self
+        )
+        self.last_index = len(self) - 1
+        #: Final segment has no after-hook: its run-end can finish the
+        #: frame directly (the hot path for one-segment burn bodies).
+        self.tail_fast = len(self) > 0 and self[-1].after is None
 
 
 def segments_body(fn):

@@ -44,6 +44,27 @@ class KThread:
             driver/application threads.
     """
 
+    # Scheduler hot paths (dispatch, make-ready, wait handling) read these
+    # on every transition; slots keep the loads off a per-instance dict.
+    __slots__ = (
+        "name",
+        "priority",
+        "base_priority",
+        "body",
+        "module",
+        "system",
+        "state",
+        "frame",
+        "waiting_on",
+        "wait_any_objs",
+        "wait_timeout_handle",
+        "quantum_expired_flag",
+        "dispatches",
+        "cycles_used",
+        "waits_satisfied",
+        "quantum_expiries",
+    )
+
     def __init__(
         self,
         name: str,
@@ -90,6 +111,8 @@ class KThread:
 
 class ReadyQueues:
     """32-level ready queue with O(1) highest-priority selection."""
+
+    __slots__ = ("_queues", "_mask")
 
     def __init__(self) -> None:
         self._queues: List[Deque[KThread]] = [deque() for _ in range(PRIORITY_LEVELS)]

@@ -28,6 +28,13 @@ COUNTERS = (
     "cancelled",          # queued jobs cancelled before dispatch
     "deadline_expired",   # waits that hit their per-request deadline
     "failed",             # jobs whose simulation raised
+    # Engine execution counters aggregated across simulated (non-cached)
+    # runs -- virtual-time fast-forward and compiled-tape observability
+    # (see docs/ARCHITECTURE.md "Virtual-time fast-forward").
+    "sim_spans_fast_forwarded",   # idle spans analytically settled
+    "sim_ticks_fast_forwarded",   # PIT ticks batch-settled inside them
+    "sim_tape_frames",            # frames executed from a compiled tape
+    "sim_interpreted_frames",     # frames run through the generator path
 )
 
 #: Stage names for latency observations (seconds).

@@ -57,16 +57,27 @@ from repro.service.store import ResultStore
 MAX_FINISHED_JOBS = 1024
 
 
-def _run_cell_serialized(config: ExperimentConfig) -> str:
-    """Worker-side body: one cell, returned as canonical JSON text.
+def _run_cell_serialized(config: ExperimentConfig) -> tuple:
+    """Worker-side body: one cell as canonical JSON text, plus counters.
 
     Returning the serialized form (rather than the SampleSet) means the
     bytes a client receives are produced exactly once, in the worker, by
     the same :func:`~repro.core.export.sample_set_to_json` a serial
     ``run_campaign`` export uses -- the determinism guarantee needs no
-    re-encode step to stay byte-exact.
+    re-encode step to stay byte-exact.  The second element carries the
+    run's engine execution counters (fast-forward spans/ticks, tape vs
+    interpreted frames) for the server's ``stats`` verb; cached results
+    skip the simulation entirely and contribute nothing.
     """
-    return sample_set_to_json(run_latency_experiment(config).sample_set)
+    result = run_latency_experiment(config)
+    engine = result.os.machine.engine
+    counters = {
+        "spans_fast_forwarded": engine.spans_fast_forwarded,
+        "ticks_fast_forwarded": engine.ticks_fast_forwarded,
+        "tape_frames": engine.tape_frames,
+        "interpreted_frames": engine.interpreted_frames,
+    }
+    return sample_set_to_json(result.sample_set), counters
 
 
 @dataclass
@@ -256,10 +267,16 @@ class ExperimentService:
                     job.error = f"{type(result).__name__}: {result}"
                     self._finish(job, "failed")
                 else:
+                    serialized, sim_counters = result
                     self.metrics.count("simulations")
+                    # Aggregate engine execution counters across simulated
+                    # (non-cached) runs; reported under ``sim_*`` by the
+                    # ``stats`` verb.
+                    for name, value in sim_counters.items():
+                        self.metrics.count(f"sim_{name}", value)
                     self.metrics.observe("execute", done_at - job.dispatched_at)
-                    self.store.put(job.config, result, key=job.key)
-                    job.serialized = result
+                    self.store.put(job.config, serialized, key=job.key)
+                    job.serialized = serialized
                     self._finish(job, "done")
 
     def _set_state(self, job: Job, state: str) -> None:

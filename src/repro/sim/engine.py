@@ -189,6 +189,22 @@ class Engine:
             and performance reporting.
     """
 
+    # The engine's attributes are read on every event pop; __slots__ keeps
+    # them out of a per-instance dict so the hot loop's loads stay cheap.
+    __slots__ = (
+        "now",
+        "events_processed",
+        "_heap",
+        "_seq",
+        "_dead",
+        "_running",
+        "_run_target",
+        "spans_fast_forwarded",
+        "ticks_fast_forwarded",
+        "tape_frames",
+        "interpreted_frames",
+    )
+
     def __init__(self) -> None:
         self.now: int = 0
         self.events_processed: int = 0
@@ -196,6 +212,22 @@ class Engine:
         self._seq: int = 0
         self._dead: int = 0  # cancelled entries still sitting in the heap
         self._running = False
+        #: Absolute target of the in-progress :meth:`run_until`, or ``None``
+        #: outside one.  A virtual-time fast-forward layer (the kernel's
+        #: idle-span batch settle) is only sound when the run has a known
+        #: horizon, so eligibility checks read this instead of guessing.
+        self._run_target: Optional[int] = None
+        # Fast-forward observability (see Kernel._try_fast_forward): spans
+        # analytically settled, ticks batch-settled inside them, and --
+        # maintained by the kernel's delivery/drain paths -- how many
+        # frames executed from a compiled tape vs the generator
+        # interpreter.  events_processed includes batch-settled events (the
+        # settle replicates their counters exactly), so these counters are
+        # what makes "executed fewer events" visible rather than silent.
+        self.spans_fast_forwarded: int = 0
+        self.ticks_fast_forwarded: int = 0
+        self.tape_frames: int = 0
+        self.interpreted_frames: int = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -327,7 +359,11 @@ class Engine:
                 before :class:`SimulationError` is raised.
 
         Returns:
-            The number of events processed during this call.
+            The number of events processed during this call.  Events
+            batch-settled by a fast-forward layer (see
+            ``Kernel._try_fast_forward``) are included in
+            ``events_processed`` but not in this count or the
+            ``max_events`` valve -- they never individually fire.
         """
         time = int(time)
         if time < self.now:
@@ -335,35 +371,60 @@ class Engine:
         if self._running:
             raise SimulationError("engine is not reentrant")
         self._running = True
+        self._run_target = time
         fired = 0
         heap = self._heap
         pop = heappop
         try:
-            while heap:
-                entry = heap[0]
-                fn = entry[2]
-                if fn is None:  # cancelled; discard lazily
+            if max_events is None:
+                # Unvalved loop (the normal case): identical to the valved
+                # one below minus the per-event counter compare.
+                while heap:
+                    entry = heap[0]
+                    fn = entry[2]
+                    if fn is None:  # cancelled; discard lazily
+                        pop(heap)
+                        self._dead -= 1
+                        continue
+                    event_time = entry[0]
+                    if event_time > time:
+                        break
                     pop(heap)
-                    self._dead -= 1
-                    continue
-                event_time = entry[0]
-                if event_time > time:
-                    break
-                if fired == max_events:  # never true when max_events is None
-                    raise SimulationError(
-                        f"exceeded max_events={max_events} before reaching cycle {time}"
-                    )
-                pop(heap)
-                self.now = event_time
-                entry[4] = 1  # fired
-                fired += 1
-                args = entry[3]
-                if args:
-                    fn(*args)
-                else:
-                    fn()
+                    self.now = event_time
+                    entry[4] = 1  # fired
+                    fired += 1
+                    args = entry[3]
+                    if args:
+                        fn(*args)
+                    else:
+                        fn()
+            else:
+                while heap:
+                    entry = heap[0]
+                    fn = entry[2]
+                    if fn is None:  # cancelled; discard lazily
+                        pop(heap)
+                        self._dead -= 1
+                        continue
+                    event_time = entry[0]
+                    if event_time > time:
+                        break
+                    if fired == max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events} before reaching cycle {time}"
+                        )
+                    pop(heap)
+                    self.now = event_time
+                    entry[4] = 1  # fired
+                    fired += 1
+                    args = entry[3]
+                    if args:
+                        fn(*args)
+                    else:
+                        fn()
         finally:
             self._running = False
+            self._run_target = None
             self.events_processed += fired
         if self.now < time:
             self.now = time

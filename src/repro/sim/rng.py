@@ -41,6 +41,10 @@ class RngStream:
     shapes the simulator needs and supports hierarchical child streams.
     """
 
+    # Streams are sampled on every distribution-cost segment; slots keep
+    # the bound-method cache loads (``random``, ``_paretovariate``) cheap.
+    __slots__ = ("seed", "name", "_rng", "random", "_lognormvariate", "_paretovariate", "_expovariate")
+
     def __init__(self, seed: int, name: str = "root"):
         self.seed = seed
         self.name = name
@@ -65,8 +69,9 @@ class RngStream:
     def uniform(self, lo: float, hi: float) -> float:
         return self._rng.uniform(lo, hi)
 
-    def random(self) -> float:
-        return self._rng.random()
+    # ``random`` is provided per instance (bound to the underlying
+    # generator in __init__); no class-level wrapper, which would conflict
+    # with the slot of the same name.
 
     def randint(self, lo: int, hi: int) -> int:
         return self._rng.randint(lo, hi)

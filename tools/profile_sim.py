@@ -39,18 +39,20 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.core.experiment import build_loaded_os  # noqa: E402
 
 
-def profile_cell(os_name: str, workload: str, duration_s: float, seed: int) -> cProfile.Profile:
+def profile_cell(os_name: str, workload: str, duration_s: float, seed: int):
     """Profile ``duration_s`` simulated seconds of one loaded cell.
 
     The OS build/boot happens outside the profiled region so the report
-    shows steady-state dispatch costs, not one-time setup.
+    shows steady-state dispatch costs, not one-time setup.  Returns
+    ``(profiler, booted_os)`` so callers can read post-run engine counters
+    (fast-forward spans, tape vs interpreted frames).
     """
     os, _ = build_loaded_os(os_name, workload, seed=seed)
     profiler = cProfile.Profile()
     profiler.enable()
     os.machine.run_for_ms(duration_s * 1000.0)
     profiler.disable()
-    return profiler
+    return profiler, os
 
 
 def _repro_key(filename: str, funcname: str) -> str | None:
@@ -70,9 +72,14 @@ def call_counts(os_name: str, workload: str, duration_s: float, seed: int) -> di
     "tottime_s": float}}}`` covering every function under ``src/repro``.
     The call counts depend only on the simulated event stream (which is
     seeded), so they are bit-stable across runs and machines; ``tottime_s``
-    is informational only.
+    is informational only.  A ``fast_forward`` section reports the
+    engine's virtual-time counters for the profiled run: idle spans
+    analytically settled, PIT ticks batch-settled inside them, and how
+    many frames executed from a compiled tape vs the generator
+    interpreter (all equally deterministic for a fixed cell).
     """
-    profiler = profile_cell(os_name, workload, duration_s, seed)
+    profiler, os = profile_cell(os_name, workload, duration_s, seed)
+    engine = os.machine.engine
     functions: dict = {}
     total_calls = 0
     for (filename, _lineno, funcname), (_cc, nc, tt, _ct, _callers) in pstats.Stats(
@@ -97,25 +104,46 @@ def call_counts(os_name: str, workload: str, duration_s: float, seed: int) -> di
         },
         "total_repro_calls": total_calls,
         "total_repro_calls_per_sim_s": round(total_calls / duration_s, 2),
+        "fast_forward": {
+            "spans_fast_forwarded": engine.spans_fast_forwarded,
+            "ticks_fast_forwarded": engine.ticks_fast_forwarded,
+            "tape_frames": engine.tape_frames,
+            "interpreted_frames": engine.interpreted_frames,
+        },
         "functions": dict(
             sorted(functions.items(), key=lambda kv: -kv[1]["calls"])
         ),
     }
 
 
-def write_budget(counts: dict, path: Path, top: int = 25) -> None:
+#: Cells the call-budget gate covers: the loaded win98/games cell that
+#: exercises every dispatch path, plus an idle cell where the virtual-time
+#: fast-forward should be settling nearly every tick (a regression that
+#: disables fast-forward shows up as a call-rate explosion there).
+BUDGET_CELLS = (
+    ("win98", "games", 2.0, 1),
+    ("nt4", "idle", 2.0, 1),
+)
+
+
+def write_budget(path: Path, top: int = 25) -> None:
     """Write the call-budget file ``benchmarks/test_call_budget.py`` gates on.
 
-    Keeps the ``top`` highest-traffic functions; the test allows 20%
-    headroom over each recorded rate before failing.
+    Profiles every cell in :data:`BUDGET_CELLS` and keeps each cell's
+    ``top`` highest-traffic functions; the test allows 20% headroom over
+    each recorded rate before failing.
     """
-    ranked = list(counts["functions"].items())[:top]
-    budget = {
-        "config": counts["config"],
-        "total_repro_calls_per_sim_s": counts["total_repro_calls_per_sim_s"],
-        "functions": {key: entry["calls_per_sim_s"] for key, entry in ranked},
-    }
-    path.write_text(json.dumps(budget, indent=2, sort_keys=True) + "\n")
+    cells = {}
+    for os_name, workload, duration_s, seed in BUDGET_CELLS:
+        counts = call_counts(os_name, workload, duration_s, seed)
+        ranked = list(counts["functions"].items())[:top]
+        cells[f"{os_name}/{workload}"] = {
+            "config": counts["config"],
+            "total_repro_calls_per_sim_s": counts["total_repro_calls_per_sim_s"],
+            "fast_forward": counts["fast_forward"],
+            "functions": {key: entry["calls_per_sim_s"] for key, entry in ranked},
+        }
+    path.write_text(json.dumps({"cells": cells}, indent=2, sort_keys=True) + "\n")
 
 
 def format_report(profiler: cProfile.Profile, top: int) -> str:
@@ -132,7 +160,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--os", dest="os_name", default="win98", choices=("win98", "nt4"))
     parser.add_argument("--workload", default="games",
-                        choices=("office", "workstation", "games", "web"))
+                        choices=("office", "workstation", "games", "web", "idle"))
     parser.add_argument("--duration-s", type=float, default=2.0,
                         help="simulated seconds to profile (default: 2)")
     parser.add_argument("--seed", type=int, default=1, help="experiment seed")
@@ -149,21 +177,30 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.json is not None or args.write_budget is not None:
-        counts = call_counts(args.os_name, args.workload, args.duration_s, args.seed)
         if args.json is not None:
+            counts = call_counts(args.os_name, args.workload, args.duration_s, args.seed)
             args.json.write_text(json.dumps(counts, indent=2) + "\n")
             print(f"call-count report written to {args.json}")
         if args.write_budget is not None:
-            write_budget(counts, args.write_budget)
+            # The budget always covers the fixed BUDGET_CELLS matrix, not
+            # the --os/--workload selection, so a refresh can never
+            # silently narrow the gate.
+            write_budget(args.write_budget)
             print(f"call budget written to {args.write_budget}")
         return 0
 
-    profiler = profile_cell(args.os_name, args.workload, args.duration_s, args.seed)
+    profiler, os = profile_cell(args.os_name, args.workload, args.duration_s, args.seed)
+    engine = os.machine.engine
     header = (
         f"profile: {args.os_name}/{args.workload} duration_s={args.duration_s} "
         f"seed={args.seed}\n"
     )
-    report = header + format_report(profiler, args.top)
+    ff_line = (
+        f"fast-forward: {engine.spans_fast_forwarded} spans, "
+        f"{engine.ticks_fast_forwarded} ticks settled; frames: "
+        f"{engine.tape_frames} tape, {engine.interpreted_frames} interpreted\n"
+    )
+    report = header + ff_line + format_report(profiler, args.top)
     print(report)
     if args.output is not None:
         args.output.write_text(report)
