@@ -1,0 +1,120 @@
+"""Fleet-tier performance: routed throughput under wide concurrency.
+
+The headline number for BENCH_sim.json:
+
+* ``fleet_routed_rps`` -- sustained served requests/second and
+  client-side p99 latency through a real router fronting 3 workers, with
+  100 concurrent async clients.  The router's own store is disabled
+  (``cache_dir=None``, ``hot_capacity=0``) so *every* request takes the
+  full admit -> shard -> forward -> relay path; the workers serve
+  cache-hot, so the number isolates the routing tier's overhead rather
+  than simulation cost.
+
+Thresholds are deliberately loose (CI-shared runners); the recorded
+numbers are the real output.
+"""
+
+import asyncio
+import time
+
+from repro.core.experiment import ExperimentConfig
+from repro.fleet import AsyncServiceClient, RouterThread
+from repro.service import ServiceClient, ServiceThread
+
+from .test_sim_performance import record_measurement
+
+WORKERS = 3
+CLIENTS = 100
+REQUESTS_PER_CLIENT = 5
+
+#: Distinct cells spread across the ring so every worker takes forwards.
+CELLS = [
+    ExperimentConfig(os_name=os_name, workload="office",
+                     duration_s=0.5, seed=seed)
+    for os_name in ("win98", "nt4")
+    for seed in (1999, 2000, 2001, 2002, 2003)
+]
+
+
+def _wait_live(port, expected, deadline_s=30.0):
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        with ServiceClient(port=port) as client:
+            if client.fleet_stats()["registry"]["live"] >= expected:
+                return
+        time.sleep(0.05)
+    raise AssertionError(f"fleet never reached {expected} live workers")
+
+
+def test_routed_sustained_rps_and_p99(tmp_path):
+    # Quotas and lane bounds sized out of the way: this measures routing
+    # throughput, not admission shedding (tests/test_fleet.py owns that).
+    router = RouterThread(
+        cache_dir=None, hot_capacity=0,
+        client_rate=1e6, client_burst=1e6, interactive_inflight=1024,
+    ).start()
+    workers = [
+        ServiceThread(
+            cache_dir=tmp_path,
+            register_with=f"127.0.0.1:{router.port}",
+            worker_name=f"bench-w{i}",
+        ).start()
+        for i in range(WORKERS)
+    ]
+    latencies = []
+
+    async def one_client(index):
+        async with AsyncServiceClient(port=router.port, pool_size=2,
+                                      client_id=f"bench-c{index}") as client:
+            for round_index in range(REQUESTS_PER_CLIENT):
+                cell = CELLS[(index + round_index) % len(CELLS)]
+                t0 = time.perf_counter()
+                await client.submit(cell, as_text=True)
+                latencies.append(time.perf_counter() - t0)
+
+    async def drive():
+        await asyncio.gather(*(one_client(i) for i in range(CLIENTS)))
+
+    try:
+        _wait_live(router.port, WORKERS)
+        with ServiceClient(port=router.port) as client:
+            for cell in CELLS:  # simulate each cell once, warming workers
+                client.submit(cell)
+        t0 = time.perf_counter()
+        asyncio.run(drive())
+        elapsed = time.perf_counter() - t0
+        with ServiceClient(port=router.port) as client:
+            stats = client.stats()
+            fleet = client.fleet_stats()
+    finally:
+        for worker in workers:
+            worker.stop()
+        router.stop()
+
+    total = CLIENTS * REQUESTS_PER_CLIENT
+    assert len(latencies) == total
+    rps = total / elapsed
+    latencies.sort()
+    p50_ms = latencies[total // 2] * 1000
+    p99_ms = latencies[int(total * 0.99) - 1] * 1000
+    forwards = {w["name"]: w["forwards"]
+                for w in fleet["registry"]["workers"]}
+    assert stats["counters"]["shed_quota"] == 0
+    assert stats["counters"]["shed_lane"] == 0
+    assert all(count > 0 for count in forwards.values()), \
+        f"a worker took no forwards: {forwards}"
+    record_measurement(
+        "fleet_routed_rps",
+        workers=WORKERS,
+        clients=CLIENTS,
+        requests=total,
+        wall_s=round(elapsed, 4),
+        requests_per_sec=round(rps, 1),
+        p50_ms=round(p50_ms, 3),
+        p99_ms=round(p99_ms, 3),
+        forwarded=stats["counters"]["forwarded"],
+    )
+    # Conservative floors: a loaded CI box routes hundreds/sec; a
+    # regression to per-request simulation would be an order slower.
+    assert rps >= 50, f"routed serving only {rps:.0f} req/s"
+    assert p99_ms < 5000, f"routed p99 {p99_ms:.0f} ms"

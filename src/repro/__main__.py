@@ -12,9 +12,14 @@ Subcommands mirror the paper's workflow:
   episode traces.
 * ``throughput`` -- the section 4.2 Winstone-style control experiment.
 * ``serve``    -- run the experiment service (asyncio job queue, batching,
-  backpressure) on a TCP port.
-* ``submit``   -- send one ``measure``-style cell to a running server and
-  print the same report.
+  backpressure) on a TCP port; ``--register HOST:PORT`` joins a fleet
+  router's hash ring and pushes heartbeats.
+* ``route``    -- run the fleet router/coordinator: shards submits across
+  registered workers by cache key (consistent hashing), fails keys over
+  when a worker dies, sheds load with retry-after hints.
+* ``submit``   -- send one ``measure``-style cell to a running server --
+  or through a router with ``--router HOST:PORT`` -- and print the same
+  report.
 
 Invalid flag values (negative durations, zero worker counts, ...) are
 rejected up front with a one-line error and exit status 2; they never
@@ -122,10 +127,33 @@ def cmd_throughput(args) -> int:
     return 0
 
 
-def cmd_serve(args) -> int:
+def _run_until_drained(server, banner: str) -> None:
+    """Boot an async server object, print its banner, drain on SIGTERM."""
     import asyncio
     import signal
 
+    async def _main() -> None:
+        await server.start()
+        # Parsed by the CI smoke jobs to discover the ephemeral port.
+        print(f"repro {banner} listening on "
+              f"{server.config.host}:{server.port}", flush=True)
+        loop = asyncio.get_running_loop()
+
+        def _drain() -> None:
+            asyncio.ensure_future(server.shutdown())
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, _drain)
+            except NotImplementedError:  # non-Unix event loops
+                pass
+        await server.wait_closed()
+        print(f"repro {banner} drained and closed", flush=True)
+
+    asyncio.run(_main())
+
+
+def cmd_serve(args) -> int:
     from repro.service import ExperimentService, ServiceConfig
 
     service_config = ServiceConfig(
@@ -135,27 +163,36 @@ def cmd_serve(args) -> int:
         max_workers=args.jobs,
         batch_size=args.batch_size,
         cache_dir=args.cache_dir,
+        register_with=args.register,
+        worker_name=args.name,
+        advertise_host=args.advertise_host,
     )
+    _run_until_drained(ExperimentService(service_config), "service")
+    return 0
 
-    async def _serve() -> None:
-        service = ExperimentService(service_config)
-        await service.start()
-        # Parsed by the CI smoke job to discover the ephemeral port.
-        print(f"repro service listening on {args.host}:{service.port}", flush=True)
-        loop = asyncio.get_running_loop()
 
-        def _drain() -> None:
-            asyncio.ensure_future(service.shutdown())
+def cmd_route(args) -> int:
+    from repro.fleet import RouterConfig, FleetRouter
 
-        for sig in (signal.SIGINT, signal.SIGTERM):
-            try:
-                loop.add_signal_handler(sig, _drain)
-            except NotImplementedError:  # non-Unix event loops
-                pass
-        await service.wait_closed()
-        print("repro service drained and closed", flush=True)
-
-    asyncio.run(_serve())
+    workers = tuple(
+        endpoint.strip()
+        for endpoint in (args.workers or "").split(",")
+        if endpoint.strip()
+    )
+    router_config = RouterConfig(
+        host=args.host,
+        port=args.port,
+        workers=workers,
+        cache_dir=args.cache_dir,
+        heartbeat_interval_s=args.heartbeat_interval,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+        forward_attempts=args.forward_attempts,
+        client_rate=args.client_rate,
+        client_burst=args.client_burst,
+        interactive_inflight=args.interactive_inflight,
+        batch_inflight=args.batch_inflight,
+    )
+    _run_until_drained(FleetRouter(router_config), "router")
     return 0
 
 
@@ -166,11 +203,16 @@ def cmd_submit(args) -> int:
         os_name=args.os, workload=args.workload,
         duration_s=args.duration, seed=args.seed,
     )
+    host, port = args.host, args.port
+    if args.router:
+        # --router HOST:PORT targets a fleet router; same wire protocol.
+        router_host, _, router_port = args.router.rpartition(":")
+        host, port = router_host or "127.0.0.1", int(router_port)
     try:
-        client = ServiceClient(host=args.host, port=args.port, timeout=args.timeout)
+        client = ServiceClient(host=host, port=port, timeout=args.timeout)
     except OSError as exc:
         print(f"repro: error: cannot reach service at "
-              f"{args.host}:{args.port} ({exc})", file=sys.stderr)
+              f"{host}:{port} ({exc})", file=sys.stderr)
         return 1
     with client:
         if args.no_wait:
@@ -178,11 +220,15 @@ def cmd_submit(args) -> int:
             return 0
         try:
             if args.json:
-                print(client.submit(config, deadline_s=args.deadline, as_text=True))
+                print(client.submit(config, deadline_s=args.deadline,
+                                    as_text=True, lane=args.lane))
                 return 0
-            sample_set = client.submit(config, deadline_s=args.deadline)
+            sample_set = client.submit(config, deadline_s=args.deadline,
+                                       lane=args.lane)
         except ServiceError as exc:
-            print(f"repro: error: {exc}", file=sys.stderr)
+            hint = (f" (retry after {exc.retry_after_s}s)"
+                    if exc.retry_after_s else "")
+            print(f"repro: error: {exc}{hint}", file=sys.stderr)
             return 1
     _print_measure_report(sample_set)
     return 0
@@ -197,9 +243,21 @@ _FLAG_CHECKS = (
     ("jobs", lambda v: v >= 1, "--jobs must be at least 1"),
     ("queue_limit", lambda v: v >= 1, "--queue-limit must be at least 1"),
     ("batch_size", lambda v: v >= 1, "--batch-size must be at least 1"),
-    ("port", lambda v: 0 <= v <= 65535, "--port must be in 0..65535"),
+    ("port", lambda v: v is None or 0 <= v <= 65535, "--port must be in 0..65535"),
     ("timeout", lambda v: v is None or v > 0, "--timeout must be positive seconds"),
     ("deadline", lambda v: v is None or v > 0, "--deadline must be positive seconds"),
+    ("heartbeat_interval", lambda v: v > 0,
+     "--heartbeat-interval must be positive seconds"),
+    ("heartbeat_timeout", lambda v: v > 0,
+     "--heartbeat-timeout must be positive seconds"),
+    ("forward_attempts", lambda v: v >= 1, "--forward-attempts must be at least 1"),
+    ("client_rate", lambda v: v > 0, "--client-rate must be positive tokens/s"),
+    ("client_burst", lambda v: v > 0, "--client-burst must be positive tokens"),
+    ("interactive_inflight", lambda v: v >= 1,
+     "--interactive-inflight must be at least 1"),
+    ("batch_inflight", lambda v: v >= 1, "--batch-inflight must be at least 1"),
+    ("router", lambda v: v is None or ":" in v,
+     "--router must look like HOST:PORT"),
 )
 
 
@@ -258,12 +316,52 @@ def main(argv=None) -> int:
                    help="cells dispatched per scheduler cycle")
     p.add_argument("--cache-dir", default=None,
                    help="content-addressed result store (campaign-cache "
-                        "format, replayable offline)")
+                        "format, replayable offline); point every fleet "
+                        "worker at one shared directory")
+    p.add_argument("--register", default=None, metavar="HOST:PORT",
+                   help="self-register with a fleet router and push "
+                        "heartbeats until drained")
+    p.add_argument("--name", default=None,
+                   help="stable worker name on the router's hash ring "
+                        "(default: own host:port)")
+    p.add_argument("--advertise-host", default=None,
+                   help="host the router should dial back (default: the "
+                        "bind host; set when binding 0.0.0.0)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("route", help="run the fleet router/coordinator")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 picks an ephemeral port)")
+    p.add_argument("--workers", default=None, metavar="HOST:PORT[,HOST:PORT...]",
+                   help="static worker seeds; workers may also register "
+                        "dynamically via serve --register")
+    p.add_argument("--cache-dir", default=None,
+                   help="the shared result store: any cell any worker "
+                        "computed is served without forwarding")
+    p.add_argument("--heartbeat-interval", type=float, default=1.0,
+                   help="worker health probe cadence in seconds")
+    p.add_argument("--heartbeat-timeout", type=float, default=5.0,
+                   help="silence past this marks a worker down")
+    p.add_argument("--forward-attempts", type=int, default=4,
+                   help="tries per submit across failover successors")
+    p.add_argument("--client-rate", type=float, default=200.0,
+                   help="per-client token-bucket refill (tokens/second)")
+    p.add_argument("--client-burst", type=float, default=400.0,
+                   help="per-client token-bucket burst capacity")
+    p.add_argument("--interactive-inflight", type=int, default=64,
+                   help="in-flight bound for the interactive lane")
+    p.add_argument("--batch-inflight", type=int, default=16,
+                   help="in-flight bound for the batch lane (sheds first)")
+    p.set_defaults(func=cmd_route)
 
     p = sub.add_parser("submit", help="send one measure-style cell to a server")
     p.add_argument("--host", default="127.0.0.1")
-    p.add_argument("--port", type=int, required=True)
+    p.add_argument("--port", type=int, default=None)
+    p.add_argument("--router", default=None, metavar="HOST:PORT",
+                   help="submit through a fleet router instead of --port")
+    p.add_argument("--lane", default=None, choices=("interactive", "batch"),
+                   help="router admission lane (batch sheds first under load)")
     p.add_argument("--os", default="win98", choices=OS_NAMES)
     _add_common(p)
     p.add_argument("--deadline", type=float, default=None,
@@ -277,6 +375,10 @@ def main(argv=None) -> int:
     p.set_defaults(func=cmd_submit)
 
     args = parser.parse_args(argv)
+    if args.command == "submit" and args.port is None and not args.router:
+        print("repro: error: submit needs --port or --router HOST:PORT",
+              file=sys.stderr)
+        return 2
     problem = _validate_flags(args)
     if problem is not None:
         print(f"repro: error: {problem}", file=sys.stderr)

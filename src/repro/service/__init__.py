@@ -23,7 +23,7 @@ Or from the command line::
     python -m repro submit --port 7998 --os win98 --workload games
 """
 
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import ServiceClient, ServiceError, ServiceUnavailable
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
     PROTOCOL_VERSION,
@@ -44,6 +44,7 @@ __all__ = [
     "ServiceError",
     "ServiceMetrics",
     "ServiceThread",
+    "ServiceUnavailable",
     "config_from_wire",
     "config_to_wire",
 ]

@@ -13,6 +13,7 @@ import json
 import socket
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
 
+from repro.core.campaign import cache_key
 from repro.core.experiment import ExperimentConfig
 from repro.core.export import sample_set_from_json
 from repro.core.samples import SampleSet
@@ -26,12 +27,35 @@ from repro.service.protocol import (
 
 
 class ServiceError(RuntimeError):
-    """An ``{"ok": false}`` response, surfaced with its machine code."""
+    """An ``{"ok": false}`` response, surfaced with its machine code.
 
-    def __init__(self, code: str, message: str):
+    ``retry_after_s`` carries the server's backoff hint when the
+    response had one (load shedding, no live worker); ``None`` otherwise.
+    """
+
+    def __init__(self, code: str, message: str,
+                 retry_after_s: Optional[float] = None):
         super().__init__(f"{code}: {message}")
         self.code = code
         self.message = message
+        self.retry_after_s = retry_after_s
+
+
+class ServiceUnavailable(ServiceError):
+    """The transport died mid-call (connection refused/reset, server EOF).
+
+    Replaces the raw ``ConnectionError`` a server restart used to
+    surface: callers get one typed exception for "the service is not
+    there right now", with the retry-after hint when one is known and --
+    for :meth:`ServiceClient.stream_results` -- the cache keys that were
+    *not* delivered before the transport failed, so a caller can resubmit
+    exactly the missing cells.
+    """
+
+    def __init__(self, message: str, retry_after_s: Optional[float] = None,
+                 undelivered: Optional[List[str]] = None):
+        super().__init__("unavailable", message, retry_after_s=retry_after_s)
+        self.undelivered: List[str] = list(undelivered or [])
 
 
 class ServiceClient:
@@ -55,14 +79,20 @@ class ServiceClient:
     # Wire plumbing
     # ------------------------------------------------------------------
     def _roundtrip(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        self._file.write(encode_message(payload))
-        self._file.flush()
+        try:
+            self._file.write(encode_message(payload))
+            self._file.flush()
+        except (ConnectionError, BrokenPipeError, OSError) as exc:
+            raise ServiceUnavailable(f"service connection lost: {exc}") from exc
         return self._read_message()
 
     def _read_message(self) -> Dict[str, Any]:
-        line = self._file.readline(MAX_LINE_BYTES)
+        try:
+            line = self._file.readline(MAX_LINE_BYTES)
+        except (ConnectionError, OSError) as exc:
+            raise ServiceUnavailable(f"service connection lost: {exc}") from exc
         if not line:
-            raise ConnectionError("server closed the connection")
+            raise ServiceUnavailable("server closed the connection")
         return json.loads(line)
 
     @staticmethod
@@ -70,7 +100,9 @@ class ServiceClient:
         if not response.get("ok", False):
             error = response.get("error") or {}
             raise ServiceError(
-                error.get("code", "unknown"), error.get("message", "")
+                error.get("code", "unknown"),
+                error.get("message", ""),
+                retry_after_s=error.get("retry_after_s"),
             )
         return response
 
@@ -86,15 +118,22 @@ class ServiceClient:
         config: ExperimentConfig,
         deadline_s: Optional[float] = None,
         as_text: bool = False,
+        lane: Optional[str] = None,
     ):
         """Run one cell and return its :class:`SampleSet` (blocking).
 
         ``as_text=True`` returns the raw serialized JSON instead -- the
-        byte-exact payload the determinism tests compare.
+        byte-exact payload the determinism tests compare.  ``lane``
+        selects a router admission lane (``interactive``/``batch``);
+        workers ignore it.
         """
-        response = self._request(
-            "submit", config=config_to_wire(config), wait=True, deadline_s=deadline_s
-        )
+        fields: Dict[str, Any] = {
+            "config": config_to_wire(config), "wait": True,
+            "deadline_s": deadline_s,
+        }
+        if lane is not None:
+            fields["lane"] = lane
+        response = self._request("submit", **fields)
         text = response["sample_set"]
         return text if as_text else sample_set_from_json(text)
 
@@ -140,6 +179,14 @@ class ServiceClient:
         """Service counters / gauges / stage latencies (the ``stats`` verb)."""
         return self._request("stats")["stats"]
 
+    def fleet_stats(self) -> Dict[str, Any]:
+        """Registry/admission/router view (router endpoints only)."""
+        return self._request("fleet_stats")["fleet"]
+
+    def heartbeat(self) -> Dict[str, Any]:
+        """A liveness ping; either tier answers with its uptime."""
+        return self._request("heartbeat")
+
     def shutdown(self) -> Dict[str, Any]:
         """Ask the server to drain and close; blocks until drained."""
         return self._request("shutdown")
@@ -159,22 +206,39 @@ class ServiceClient:
         admitted (and start executing / coalescing) before the first
         result is consumed, and the yield order is the input order, so a
         streamed campaign is byte-identical to a serial one.
+
+        If the transport dies mid-stream, the raised
+        :class:`ServiceUnavailable` carries ``undelivered`` -- the cache
+        keys of every cell not yet yielded, in input order -- so the
+        caller can resubmit exactly the missing cells instead of
+        restarting the whole campaign.
         """
+        keys = [cache_key(config) for config in configs]
         pending: List[Any] = []
-        for config in configs:
-            response = self._request(
-                "submit", config=config_to_wire(config), wait=False
-            )
+        for index, config in enumerate(configs):
+            try:
+                response = self._request(
+                    "submit", config=config_to_wire(config), wait=False
+                )
+            except ServiceUnavailable as exc:
+                exc.undelivered = keys  # nothing has been yielded yet
+                raise
             # A store-served cell arrives inline, with no job to poll.
             if response.get("cached"):
                 pending.append(("text", response["sample_set"]))
             else:
                 pending.append(("job", response["job"]))
-        for kind, value in pending:
+        for index, (kind, value) in enumerate(pending):
             if kind == "text":
                 yield value if as_text else sample_set_from_json(value)
             else:
-                yield self.result(value, deadline_s=deadline_s, as_text=as_text)
+                try:
+                    result = self.result(value, deadline_s=deadline_s,
+                                         as_text=as_text)
+                except ServiceUnavailable as exc:
+                    exc.undelivered = keys[index:]
+                    raise
+                yield result
 
     def run_campaign(
         self, configs: Sequence[ExperimentConfig]

@@ -4,12 +4,19 @@ The ``stats`` verb serves a snapshot of these, so load tests and
 operators can see queue depth, rejection rates and where wall-clock goes
 (admission wait vs. simulation vs. total serve time) without attaching a
 profiler to a live server.
+
+Two tiers share this module: the worker server (:data:`COUNTERS` /
+:data:`STAGES`) and the fleet router (:data:`ROUTER_COUNTERS` /
+:data:`ROUTER_STAGES`).  Every snapshot carries ``uptime_s`` so a fleet
+health view can tell a freshly restarted process from a long-lived one
+without correlating logs.
 """
 
 from __future__ import annotations
 
+import time
 from collections import deque
-from typing import Deque, Dict, Optional
+from typing import Deque, Dict, Optional, Sequence
 
 #: Per-stage reservoir size.  512 observations is plenty for p99 on a
 #: smoke test while bounding a long-lived server's memory.
@@ -28,6 +35,7 @@ COUNTERS = (
     "cancelled",          # queued jobs cancelled before dispatch
     "deadline_expired",   # waits that hit their per-request deadline
     "failed",             # jobs whose simulation raised
+    "heartbeats",         # heartbeat probes answered
     # Engine execution counters aggregated across simulated (non-cached)
     # runs -- virtual-time fast-forward and compiled-tape observability
     # (see docs/ARCHITECTURE.md "Virtual-time fast-forward").
@@ -40,15 +48,47 @@ COUNTERS = (
 #: Stage names for latency observations (seconds).
 STAGES = ("queue_wait", "execute", "serve")
 
+#: Router-tier counters (see ``repro.fleet.router``).
+ROUTER_COUNTERS = (
+    "submitted",          # submit requests accepted for routing
+    "served",             # results relayed (or store-served) to a client
+    "cache_hits",         # served from the router's shared result store
+    "forwarded",          # submits forwarded to a worker
+    "forward_retries",    # forwards retried after a transport failure
+    "failovers",          # keys re-routed off a worker marked down
+    "shed_quota",         # load shedding: per-client token bucket empty
+    "shed_lane",          # load shedding: priority lane at capacity
+    "rejected_shutdown",  # submit during router drain
+    "unavailable",        # submits with no live worker after retries
+    "workers_marked_down",  # health transitions up -> down
+    "workers_marked_up",    # health transitions down -> up
+    "registrations",      # register verb accepted (new or re-register)
+    "heartbeats",         # heartbeat verb answered (worker push or probe)
+)
+
+#: Router-tier stages: admission+ring lookup vs. worker round-trip vs.
+#: total client-observed serve time.
+ROUTER_STAGES = ("route", "forward", "serve")
+
 
 class ServiceMetrics:
-    """Counters plus bounded per-stage latency reservoirs."""
+    """Counters plus bounded per-stage latency reservoirs.
 
-    def __init__(self) -> None:
-        self.counters: Dict[str, int] = {name: 0 for name in COUNTERS}
+    ``counters``/``stages`` default to the worker-tier names; the router
+    passes :data:`ROUTER_COUNTERS`/:data:`ROUTER_STAGES`.  The snapshot
+    always carries ``uptime_s`` measured from construction.
+    """
+
+    def __init__(
+        self,
+        counters: Sequence[str] = COUNTERS,
+        stages: Sequence[str] = STAGES,
+    ) -> None:
+        self.counters: Dict[str, int] = {name: 0 for name in counters}
         self._stages: Dict[str, Deque[float]] = {
-            name: deque(maxlen=_RESERVOIR) for name in STAGES
+            name: deque(maxlen=_RESERVOIR) for name in stages
         }
+        self.started_at = time.monotonic()
 
     def count(self, name: str, amount: int = 1) -> None:
         """Increment one counter (unknown names fail loudly)."""
@@ -57,6 +97,10 @@ class ServiceMetrics:
     def observe(self, stage: str, seconds: float) -> None:
         """Record one latency observation for ``stage``."""
         self._stages[stage].append(seconds)
+
+    def uptime_s(self) -> float:
+        """Seconds since this metrics object (i.e. the process) started."""
+        return time.monotonic() - self.started_at
 
     def percentiles(self, stage: str) -> Optional[Dict[str, float]]:
         """p50/p90/p99/max (ms) over the stage's reservoir, or ``None``."""
@@ -80,11 +124,12 @@ class ServiceMetrics:
     def snapshot(self, **gauges) -> Dict[str, object]:
         """The ``stats`` verb payload: counters, gauges, stage latencies."""
         return {
+            "uptime_s": round(self.uptime_s(), 3),
             "counters": dict(self.counters),
             "gauges": dict(gauges),
             "stages": {
                 stage: self.percentiles(stage)
-                for stage in STAGES
+                for stage in self._stages
                 if self._stages[stage]
             },
         }

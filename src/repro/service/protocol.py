@@ -25,6 +25,24 @@ Verbs:
 ``cancel``  -- abandon a queued job.
 ``stats``   -- service counters and per-stage latency percentiles.
 ``shutdown`` -- graceful drain: reject new work, finish admitted work.
+
+Route-tier verbs (the fleet layer, :mod:`repro.fleet`):
+
+``register``
+    A worker announces itself to a router (``name``, ``host``, ``port``)
+    and joins the consistent-hash ring.  Idempotent: re-registering
+    updates the endpoint and marks the worker up.
+``heartbeat``
+    Liveness.  With a ``name`` it refreshes that worker's registration at
+    a router; without one it is a plain ping either tier answers cheaply
+    (the router's health prober sends these to workers).
+``fleet_stats``
+    Router-only: per-worker health/forward counters, ring membership and
+    admission-lane gauges, alongside the router's own ``stats`` shape.
+
+Error responses may carry a ``retry_after_s`` hint (load shedding, no
+live worker) telling a well-behaved client when to try again instead of
+hammering a saturated tier.
 """
 
 from __future__ import annotations
@@ -55,7 +73,11 @@ PROTOCOL_VERSION = 1
 MAX_LINE_BYTES = 64 * 1024 * 1024
 
 #: The verbs a server must implement.
-VERBS = ("submit", "status", "result", "watch", "cancel", "stats", "shutdown")
+VERBS = (
+    "submit", "status", "result", "watch", "cancel", "stats", "shutdown",
+    # Route tier (repro.fleet): worker registration, liveness, fleet view.
+    "register", "heartbeat", "fleet_stats",
+)
 
 #: Machine-readable error codes used in ``{"ok": false}`` responses.
 ERROR_CODES = (
@@ -68,6 +90,7 @@ ERROR_CODES = (
     "cancelled",
     "not-cancellable",
     "failed",
+    "unavailable",  # no live worker could serve the key (router tier)
 )
 
 
@@ -191,12 +214,25 @@ def ok_response(req_id: Optional[str], **fields) -> Dict[str, Any]:
     return payload
 
 
-def error_response(req_id: Optional[str], code: str, message: str) -> Dict[str, Any]:
-    """Build an error response with a machine-readable code."""
+def error_response(
+    req_id: Optional[str],
+    code: str,
+    message: str,
+    retry_after_s: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Build an error response with a machine-readable code.
+
+    ``retry_after_s`` attaches the backoff hint load-shedding responses
+    carry; clients surface it on :class:`~repro.service.client.ServiceError`
+    and the async client honors it automatically.
+    """
+    error: Dict[str, Any] = {"code": code, "message": message}
+    if retry_after_s is not None:
+        error["retry_after_s"] = round(float(retry_after_s), 4)
     payload: Dict[str, Any] = {
         "v": PROTOCOL_VERSION,
         "ok": False,
-        "error": {"code": code, "message": message},
+        "error": error,
     }
     if req_id is not None:
         payload["id"] = req_id

@@ -50,11 +50,17 @@ from repro.service.protocol import (
     encode_message,
     error_response,
     ok_response,
+    request,
 )
 from repro.service.store import ResultStore
 
 #: Completed job records kept for late ``status``/``result`` calls.
 MAX_FINISHED_JOBS = 1024
+
+#: Retry hint attached to ``overloaded`` rejections: roughly one
+#: dispatcher cycle of a busy queue -- long enough to matter, short
+#: enough that shed clients converge quickly once pressure lifts.
+OVERLOADED_RETRY_AFTER_S = 0.5
 
 
 def _run_cell_serialized(config: ExperimentConfig) -> tuple:
@@ -93,10 +99,22 @@ class ServiceConfig:
         max_workers: Simulation worker processes.
         batch_size: Jobs dispatched onto the pool per dispatcher cycle.
         cache_dir: Persistent result store (campaign-cache format);
-            ``None`` keeps results in the hot LRU only.
+            ``None`` keeps results in the hot LRU only.  In a fleet,
+            point every worker (and the router) at one shared directory:
+            the atomic-rename writer makes it multi-writer safe, and any
+            tier can then serve any cell the fleet ever computed.
         hot_capacity: In-process LRU size (serialized cells).
         start_paused: Admit but do not dispatch until ``resume()`` --
             used by tests to make queueing behaviour deterministic.
+        register_with: ``"host:port"`` of a fleet router to self-register
+            with (``python -m repro serve --register``).  The worker
+            announces itself on start and pushes heartbeats until drain;
+            an unreachable router is retried forever, never fatal.
+        worker_name: Stable name on the router's hash ring; defaults to
+            ``"host:port"`` of this worker's own listening socket.
+        advertise_host: Host the router should dial back (defaults to
+            the bind host -- override when binding ``0.0.0.0``).
+        heartbeat_interval_s: Push-heartbeat cadence while registered.
     """
 
     host: str = "127.0.0.1"
@@ -107,6 +125,10 @@ class ServiceConfig:
     cache_dir: Optional[Union[str, Path]] = None
     hot_capacity: int = 64
     start_paused: bool = False
+    register_with: Optional[str] = None
+    worker_name: Optional[str] = None
+    advertise_host: Optional[str] = None
+    heartbeat_interval_s: float = 1.0
 
     def __post_init__(self):
         if self.queue_limit < 1:
@@ -115,6 +137,11 @@ class ServiceConfig:
             raise ValueError(f"max_workers must be >= 1, got {self.max_workers}")
         if self.batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.heartbeat_interval_s <= 0:
+            raise ValueError(
+                f"heartbeat_interval_s must be positive, got "
+                f"{self.heartbeat_interval_s}"
+            )
 
 
 class Job:
@@ -168,6 +195,7 @@ class ExperimentService:
         self._server: Optional[asyncio.base_events.Server] = None
         self._executor: Optional[ProcessPoolExecutor] = None
         self._dispatcher: Optional[asyncio.Task] = None
+        self._registrar: Optional[asyncio.Task] = None
         self._work_available: Optional[asyncio.Event] = None
         self._resume_event: Optional[asyncio.Event] = None
         self._closed: Optional[asyncio.Event] = None
@@ -191,6 +219,8 @@ class ExperimentService:
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        if self.config.register_with:
+            self._registrar = asyncio.create_task(self._register_loop())
 
     def pause(self) -> None:
         """Hold dispatch (admission continues); test hook."""
@@ -214,6 +244,12 @@ class ExperimentService:
             await self._closed.wait()
             return 0
         self._draining = True
+        if self._registrar is not None:
+            self._registrar.cancel()
+            try:
+                await self._registrar
+            except asyncio.CancelledError:
+                pass
         # A paused server must still drain what it admitted.
         self._resume_event.set()
         drained = len(self._by_key)
@@ -279,6 +315,47 @@ class ExperimentService:
                     job.serialized = serialized
                     self._finish(job, "done")
 
+    # ------------------------------------------------------------------
+    # Fleet self-registration (serve --register HOST:PORT)
+    # ------------------------------------------------------------------
+    async def _register_loop(self) -> None:
+        """Register with the router, then push heartbeats until drain.
+
+        One long-lived NDJSON connection per attempt: ``register`` once,
+        then a ``heartbeat`` line every ``heartbeat_interval_s``.  Any
+        failure (router down, restarted, connection reset) tears the
+        connection down, waits one interval and starts over with a fresh
+        ``register`` -- a restarted router relearns the fleet from these.
+        """
+        router_host, _, router_port = self.config.register_with.rpartition(":")
+        router_host = router_host or "127.0.0.1"
+        advertise = self.config.advertise_host or self.config.host
+        name = self.config.worker_name or f"{advertise}:{self.port}"
+        interval = self.config.heartbeat_interval_s
+        while True:
+            writer = None
+            try:
+                reader, writer = await asyncio.open_connection(
+                    router_host, int(router_port)
+                )
+                writer.write(encode_message(request(
+                    "register", name=name, host=advertise, port=self.port,
+                )))
+                await writer.drain()
+                if not await reader.readline():
+                    raise ConnectionError("router closed during register")
+                while True:
+                    await asyncio.sleep(interval)
+                    writer.write(encode_message(request("heartbeat", name=name)))
+                    await writer.drain()
+                    if not await reader.readline():
+                        raise ConnectionError("router closed mid-heartbeat")
+            except (ConnectionError, OSError, ValueError):
+                await asyncio.sleep(interval)
+            finally:
+                if writer is not None:
+                    writer.close()
+
     def _set_state(self, job: Job, state: str) -> None:
         job.state = state
         for queue in job.subscribers:
@@ -312,6 +389,7 @@ class ExperimentService:
             "watch": self._verb_watch,
             "cancel": self._verb_cancel,
             "stats": self._verb_stats,
+            "heartbeat": self._verb_heartbeat,
             "shutdown": self._verb_shutdown,
         }
         try:
@@ -341,6 +419,11 @@ class ExperimentService:
                     continue
                 await handler(msg, req_id, writer)
         except (ConnectionResetError, BrokenPipeError, ValueError):
+            pass
+        except asyncio.CancelledError:
+            # Loop teardown cancels handlers idling in readline() (e.g. a
+            # router's pooled connection held open across worker drain);
+            # finishing cleanly keeps asyncio's exception logger quiet.
             pass
         finally:
             writer.close()
@@ -402,6 +485,7 @@ class ExperimentService:
                         req_id,
                         "overloaded",
                         f"admission queue full ({self.config.queue_limit} cells)",
+                        retry_after_s=OVERLOADED_RETRY_AFTER_S,
                     ),
                 )
                 return
@@ -534,12 +618,24 @@ class ExperimentService:
     async def _verb_stats(self, msg, req_id, writer) -> None:
         snapshot = self.metrics.snapshot(
             queue_depth=len(self._queue),
+            queue_limit=self.config.queue_limit,
             running=self._running,
             jobs=len(self._jobs),
             draining=self._draining,
             store=self.store.stats(),
         )
         await self._send(writer, ok_response(req_id, stats=snapshot))
+
+    async def _verb_heartbeat(self, msg, req_id, writer) -> None:
+        """Liveness for the fleet health prober: cheap, never blocks."""
+        self.metrics.count("heartbeats")
+        await self._send(writer, ok_response(
+            req_id,
+            alive=True,
+            uptime_s=round(self.metrics.uptime_s(), 3),
+            queue_depth=len(self._queue),
+            draining=self._draining,
+        ))
 
     async def _verb_shutdown(self, msg, req_id, writer) -> None:
         drained = await self.shutdown()

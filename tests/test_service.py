@@ -332,10 +332,15 @@ class TestGracefulShutdown:
                 # The drained cell was persisted before the socket closed.
                 entry = tmp_path / f"{cache_key(config)}.json"
                 assert entry.exists()
-                # New submits on a surviving connection are rejected.
+                # New submits on a surviving connection are rejected:
+                # either an explicit shutting-down answer (the handler is
+                # still draining the connection) or -- once the loop has
+                # torn the socket down -- a typed ServiceUnavailable.
+                # Which one wins is a benign teardown race; succeeding is
+                # the only wrong outcome.
                 with pytest.raises(ServiceError) as excinfo:
                     client.submit_nowait(_config(seed=5))
-                assert excinfo.value.code == "shutting-down"
+                assert excinfo.value.code in ("shutting-down", "unavailable")
         assert not list(tmp_path.glob("*.tmp"))
         assert job_id  # admitted before the drain began
         # ...and the drained result is byte-exact.
