@@ -19,7 +19,16 @@ Subcommands mirror the paper's workflow:
   when a worker dies, sheds load with retry-after hints.
 * ``submit``   -- send one ``measure``-style cell to a running server --
   or through a router with ``--router HOST:PORT`` -- and print the same
-  report.
+  report.  ``--scenario SPEC`` submits every cell of a declarative
+  scenario spec instead of one flag-built cell.
+* ``run-scenario`` -- load a declarative scenario spec (YAML subset or
+  JSON, see ``repro.scenarios``), expand its matrix into cells and run
+  them locally (``--jobs``/``--cache-dir``) or through a fleet router
+  (``--router HOST:PORT``).
+
+A malformed scenario spec exits 2 with one line *per defect*, each
+carrying the spec file's line and path (``repro.scenarios`` reports
+every error, not just the first).
 
 Invalid flag values (negative durations, zero worker counts, ...) are
 rejected up front with a one-line error and exit status 2; they never
@@ -196,9 +205,92 @@ def cmd_route(args) -> int:
     return 0
 
 
+def _load_scenario_or_none(path: str):
+    """Load a spec, printing the full defect report (or I/O error) on failure.
+
+    Returns ``None`` after printing; callers translate that to exit 2.
+    A malformed spec prints one line per problem, each with the file's
+    line number and spec path -- the whole report, not just the first hit.
+    """
+    from repro.scenarios import ScenarioError, load_scenario
+
+    try:
+        return load_scenario(path)
+    except ScenarioError as exc:
+        print(str(exc), file=sys.stderr)
+        return None
+    except OSError as exc:
+        print(f"repro: error: cannot read scenario spec: {exc}", file=sys.stderr)
+        return None
+
+
+def _scenario_cell_line(cell, ss) -> str:
+    """One summary line per cell: sample count, rate, worst latency, key."""
+    worst = 0.0
+    for kind in LatencyKind:
+        values = ss.latencies_ms(kind)
+        if values:
+            worst = max(worst, max(values))
+    return (f"{cell.label}: {len(ss)} samples at {ss.sample_rate_hz():.0f} Hz, "
+            f"worst {worst:.3f} ms  [{cell.cache_key[:12]}]")
+
+
+def cmd_run_scenario(args) -> int:
+    scenario = _load_scenario_or_none(args.spec)
+    if scenario is None:
+        return 2
+    if args.list:
+        print(f"{scenario.name}: {len(scenario)} cell(s)")
+        for cell in scenario.cells:
+            print(f"  {cell.cache_key[:12]}  {cell.label}")
+        return 0
+    if args.router:
+        from repro.service import ServiceClient, ServiceError
+
+        router_host, _, router_port = args.router.rpartition(":")
+        host, port = router_host or "127.0.0.1", int(router_port)
+        try:
+            client = ServiceClient(host=host, port=port, timeout=args.timeout)
+        except OSError as exc:
+            print(f"repro: error: cannot reach router at "
+                  f"{host}:{port} ({exc})", file=sys.stderr)
+            return 1
+        print(f"{scenario.name}: {len(scenario)} cell(s) via {host}:{port}...",
+              file=sys.stderr)
+        with client:
+            try:
+                pairs = list(client.submit_scenario(scenario))
+            except ServiceError as exc:
+                hint = (f" (retry after {exc.retry_after_s}s)"
+                        if exc.retry_after_s else "")
+                print(f"repro: error: {exc}{hint}", file=sys.stderr)
+                return 1
+    else:
+        print(f"{scenario.name}: {len(scenario)} cell(s) (jobs={args.jobs})...",
+              file=sys.stderr)
+        report = run_campaign(list(scenario.configs), jobs=args.jobs,
+                              cache_dir=args.cache_dir)
+        if args.cache_dir:
+            print(f"cache: {report.cache_hits} hit(s), "
+                  f"{report.cache_misses} miss(es)", file=sys.stderr)
+        pairs = list(zip(scenario.cells, report.sample_sets))
+    for cell, sample_set in pairs:
+        print(_scenario_cell_line(cell, sample_set))
+    if len(pairs) == 1:
+        # A one-cell scenario gets the full measure-style report too.
+        print()
+        _print_measure_report(pairs[0][1])
+    return 0
+
+
 def cmd_submit(args) -> int:
     from repro.service import ServiceClient, ServiceError
 
+    scenario = None
+    if args.scenario:
+        scenario = _load_scenario_or_none(args.scenario)
+        if scenario is None:
+            return 2
     config = ExperimentConfig(
         os_name=args.os, workload=args.workload,
         duration_s=args.duration, seed=args.seed,
@@ -215,6 +307,21 @@ def cmd_submit(args) -> int:
               f"{host}:{port} ({exc})", file=sys.stderr)
         return 1
     with client:
+        if scenario is not None:
+            try:
+                for cell, result in client.submit_scenario(
+                    scenario, as_text=args.json, deadline_s=args.deadline,
+                ):
+                    if args.json:
+                        print(result)
+                    else:
+                        print(_scenario_cell_line(cell, result))
+            except ServiceError as exc:
+                hint = (f" (retry after {exc.retry_after_s}s)"
+                        if exc.retry_after_s else "")
+                print(f"repro: error: {exc}{hint}", file=sys.stderr)
+                return 1
+            return 0
         if args.no_wait:
             print(client.submit_nowait(config))
             return 0
@@ -355,11 +462,30 @@ def main(argv=None) -> int:
                    help="in-flight bound for the batch lane (sheds first)")
     p.set_defaults(func=cmd_route)
 
+    p = sub.add_parser("run-scenario", help="run a declarative scenario spec")
+    p.add_argument("spec", help="scenario spec file (YAML subset, or JSON "
+                               "with a .json suffix)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for independent cells")
+    p.add_argument("--cache-dir", default=None,
+                   help="content-addressed result cache directory")
+    p.add_argument("--router", default=None, metavar="HOST:PORT",
+                   help="run the cells through a fleet router instead of "
+                        "locally (identical cells coalesce fleet-wide)")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="socket timeout in seconds (with --router)")
+    p.add_argument("--list", action="store_true",
+                   help="print the expanded cells and cache keys, run nothing")
+    p.set_defaults(func=cmd_run_scenario)
+
     p = sub.add_parser("submit", help="send one measure-style cell to a server")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=None)
     p.add_argument("--router", default=None, metavar="HOST:PORT",
                    help="submit through a fleet router instead of --port")
+    p.add_argument("--scenario", default=None, metavar="SPEC",
+                   help="submit every cell of a scenario spec instead of "
+                        "one flag-built cell")
     p.add_argument("--lane", default=None, choices=("interactive", "batch"),
                    help="router admission lane (batch sheds first under load)")
     p.add_argument("--os", default="win98", choices=OS_NAMES)
@@ -378,6 +504,10 @@ def main(argv=None) -> int:
     if args.command == "submit" and args.port is None and not args.router:
         print("repro: error: submit needs --port or --router HOST:PORT",
               file=sys.stderr)
+        return 2
+    if args.command == "submit" and args.scenario and args.no_wait:
+        print("repro: error: --scenario submits every cell and waits; "
+              "it cannot combine with --no-wait", file=sys.stderr)
         return 2
     problem = _validate_flags(args)
     if problem is not None:

@@ -211,6 +211,27 @@ class AsyncServiceClient:
             ))
         )
 
+    async def submit_scenario(
+        self,
+        scenario,
+        deadline_s: Optional[float] = None,
+        as_text: bool = False,
+    ) -> List[Tuple[Any, Any]]:
+        """Fan out a loaded scenario's cells; ``(cell, result)`` pairs.
+
+        Duck-typed like the sync client's ``submit_scenario``: anything
+        with ``.cells`` whose items carry ``.config`` works (normally a
+        :class:`repro.scenarios.Scenario`).  All cells go through
+        :meth:`submit_many`, so identical matrix cells coalesce at the
+        endpoint and results come back in spec document order.
+        """
+        cells = list(scenario.cells)
+        results = await self.submit_many(
+            [cell.config for cell in cells],
+            deadline_s=deadline_s, as_text=as_text,
+        )
+        return list(zip(cells, results))
+
     async def stats(self) -> Dict[str, Any]:
         return (await self.request("stats"))["stats"]
 

@@ -1,0 +1,60 @@
+"""repro.scenarios: declarative scenario specs and the loader behind them.
+
+Experiments become data: a YAML-subset (or JSON) spec names an OS, a
+workload, tool knobs, intrusion presets and optional ``matrix:`` sweep
+axes, and loads into frozen
+:class:`~repro.core.experiment.ExperimentConfig` cells whose cache keys
+are identical to hand-built configs -- so specs flow through the
+campaign runner, the serving tier and the fleet router with full
+coalescing and caching.
+
+Quick start::
+
+    from repro.scenarios import load_scenario
+    from repro.core.campaign import run_campaign
+
+    scenario = load_scenario("scenarios/figure4_win98_office.yaml")
+    report = run_campaign(scenario.configs, jobs=4, cache_dir="cache")
+
+Or from the command line::
+
+    python -m repro run-scenario scenarios/figure4_win98_office.yaml
+    python -m repro submit --scenario scenarios/sweep_pit_frequency.yaml \\
+        --router 127.0.0.1:7999
+
+The shipped corpus lives in ``scenarios/`` at the repository root; every
+corpus spec is pinned by an acceptance test
+(``tests/test_scenario_acceptance.py``).
+"""
+
+from repro.scenarios.errors import ScenarioError, ScenarioIssue, format_path
+from repro.scenarios.loader import (
+    SCENARIO_SCHEMA_VERSION,
+    Scenario,
+    ScenarioCell,
+    config_to_spec,
+    load_scenario,
+    load_scenario_text,
+    scenario_from_data,
+)
+from repro.scenarios.presets import (
+    INTRUSION_PRESETS,
+    intrusion_preset,
+    intrusion_preset_names,
+)
+
+__all__ = [
+    "INTRUSION_PRESETS",
+    "SCENARIO_SCHEMA_VERSION",
+    "Scenario",
+    "ScenarioCell",
+    "ScenarioError",
+    "ScenarioIssue",
+    "config_to_spec",
+    "format_path",
+    "intrusion_preset",
+    "intrusion_preset_names",
+    "load_scenario",
+    "load_scenario_text",
+    "scenario_from_data",
+]

@@ -1,0 +1,71 @@
+"""Typed errors of the scenario loader.
+
+A scenario spec can be wrong in many places at once (a typo'd key, a
+negative duration, a bad matrix axis...).  The loader never stops at the
+first problem: validation walks the whole document, collects one
+:class:`ScenarioIssue` per defect -- each carrying the JSON-path of the
+offending node and, when the spec came from a file, its line number --
+and raises a single :class:`ScenarioError` naming all of them.  The CLI
+prints that report verbatim and exits 2; API callers catch the typed
+exception and inspect ``.issues``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+#: A path into the spec document: string keys and integer list indices.
+SpecPath = Tuple[Union[str, int], ...]
+
+
+def format_path(path: SpecPath) -> str:
+    """Render a spec path the way the error report prints it.
+
+    ``("matrix", "tool.pit_hz", 1)`` -> ``"matrix.tool.pit_hz[1]"``;
+    the empty path (the document root) renders as ``"<spec>"``.
+    """
+    if not path:
+        return "<spec>"
+    parts = []
+    for element in path:
+        if isinstance(element, int):
+            parts.append(f"[{element}]")
+        elif parts:
+            parts.append(f".{element}")
+        else:
+            parts.append(str(element))
+    return "".join(parts)
+
+
+@dataclass(frozen=True)
+class ScenarioIssue:
+    """One defect found in a scenario spec."""
+
+    path: SpecPath
+    message: str
+    line: Optional[int] = None
+
+    def format(self) -> str:
+        location = format_path(self.path)
+        if self.line is not None:
+            return f"line {self.line}: {location}: {self.message}"
+        return f"{location}: {self.message}"
+
+
+class ScenarioError(ValueError):
+    """A scenario spec that failed to parse or validate.
+
+    ``issues`` holds every defect found (at least one); ``source`` names
+    the file (or ``"<data>"`` / ``"<string>"`` for in-memory specs).
+    """
+
+    def __init__(self, source: str, issues: Sequence[ScenarioIssue]):
+        self.source = source
+        self.issues: Tuple[ScenarioIssue, ...] = tuple(issues)
+        if not self.issues:
+            raise ValueError("ScenarioError needs at least one issue")
+        noun = "problem" if len(self.issues) == 1 else "problems"
+        lines = [f"scenario spec {source} has {len(self.issues)} {noun}:"]
+        lines += [f"  {issue.format()}" for issue in self.issues]
+        super().__init__("\n".join(lines))

@@ -1,0 +1,556 @@
+"""Declarative scenario specs -> :class:`ExperimentConfig` cells.
+
+A *scenario spec* is a small YAML-subset (or JSON) document describing
+one experiment cell -- or, with a ``matrix:`` block, a whole sweep grid
+-- without writing Python:
+
+.. code-block:: yaml
+
+    scenario: pit-frequency-sweep
+    description: PIT rate x workload grid on Windows 98
+    os: win98
+    duration_s: 4.0
+    seed: 1999
+    matrix:
+      tool.pit_hz: [250.0, 1000.0]
+      workload: [idle, office]
+
+Loading produces a :class:`Scenario` whose cells are real, frozen
+:class:`~repro.core.experiment.ExperimentConfig` objects.  Three
+contracts make the specs service-grade:
+
+* **Fingerprint stability** -- every field is coerced to the exact type
+  the equivalent Python-constructed config would carry (floats stay
+  floats, priority lists become int tuples, ``dpc_importance`` becomes
+  the enum), so a loaded cell's
+  :func:`~repro.core.campaign.cache_key` equals the hand-built config's
+  and survives load -> wire -> worker unchanged.
+* **Total error reporting** -- validation walks the whole document and
+  raises one :class:`ScenarioError` carrying *every* defect, each with
+  its spec path and source line (the CLI prints the report and exits 2).
+* **Deterministic expansion** -- matrix axes expand in document order,
+  values in listed order, as a plain cross-product; each cell is
+  individually cacheable and routable.
+
+``intrusions:`` names presets from :mod:`repro.scenarios.presets`;
+multiple names merge in listed order.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.campaign import cache_key as config_cache_key
+from repro.core.experiment import ExperimentConfig
+from repro.drivers.latency import LatencyToolConfig
+from repro.kernel.boot import OS_NAMES
+from repro.kernel.dpc import DpcImportance
+from repro.scenarios import yaml_lite
+from repro.scenarios.errors import ScenarioError, ScenarioIssue, SpecPath
+from repro.scenarios.presets import (
+    intrusion_preset_names,
+    merge_presets,
+    preset_names_for_profile,
+)
+from repro.workloads.base import workload_names
+
+#: Bump on incompatible spec-shape changes (reported in error messages
+#: and docs; specs do not carry it inline -- the schema is versioned by
+#: the code that loads it, like the wire protocol).
+SCENARIO_SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Scenario objects
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioCell:
+    """One expanded cell: a label plus its frozen config."""
+
+    label: str
+    config: ExperimentConfig
+    #: The matrix-axis assignments that produced this cell (document
+    #: order); empty for a single-cell scenario.
+    overrides: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def cache_key(self) -> str:
+        return config_cache_key(self.config)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A loaded spec: metadata plus its expanded, ordered cells."""
+
+    name: str
+    description: str
+    source: str
+    cells: Tuple[ScenarioCell, ...]
+
+    @property
+    def configs(self) -> Tuple[ExperimentConfig, ...]:
+        return tuple(cell.config for cell in self.cells)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self):
+        return iter(self.cells)
+
+
+# ----------------------------------------------------------------------
+# Validation plumbing
+# ----------------------------------------------------------------------
+def _type_name(value: Any) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "boolean"
+    if isinstance(value, int):
+        return "integer"
+    if isinstance(value, float):
+        return "number"
+    if isinstance(value, str):
+        return "string"
+    if isinstance(value, (list, tuple)):
+        return "list"
+    if isinstance(value, dict):
+        return "mapping"
+    return type(value).__name__
+
+
+def _is_int(value: Any) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _is_real(value: Any) -> bool:
+    return (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and math.isfinite(value)
+    )
+
+
+class _Issues:
+    """Collects every defect; looks source lines up in the parse linemap."""
+
+    def __init__(self, source: str, linemap: Optional[Dict[SpecPath, int]]):
+        self.source = source
+        self.linemap = linemap or {}
+        self.items: List[ScenarioIssue] = []
+
+    def add(self, path: SpecPath, message: str) -> None:
+        line = self.linemap.get(path)
+        # Fall back to the nearest enclosing node that has a line.
+        probe = path
+        while line is None and probe:
+            probe = probe[:-1]
+            line = self.linemap.get(probe)
+        self.items.append(ScenarioIssue(path, message, line=line))
+
+    def raise_if_any(self) -> None:
+        if self.items:
+            raise ScenarioError(self.source, self.items)
+
+
+# ----------------------------------------------------------------------
+# Field validators
+# ----------------------------------------------------------------------
+# Each validator checks one already-parsed value at ``path`` and appends
+# issues; builders later coerce the (now known-good) value to the exact
+# type the dataclass field carries.
+def _check_os(value, path, issues):
+    if not isinstance(value, str) or value not in OS_NAMES:
+        issues.add(path, f"must be one of {', '.join(OS_NAMES)} "
+                         f"(got {value!r})")
+
+
+def _check_workload(value, path, issues):
+    names = workload_names()
+    if not isinstance(value, str) or value not in names:
+        issues.add(path, f"must be one of {', '.join(names)} (got {value!r})")
+
+
+def _check_positive(value, path, issues):
+    if not _is_real(value):
+        issues.add(path, f"expected a number, got {_type_name(value)}")
+    elif value <= 0:
+        issues.add(path, f"must be positive (got {value!r})")
+
+
+def _check_non_negative(value, path, issues):
+    if not _is_real(value):
+        issues.add(path, f"expected a number, got {_type_name(value)}")
+    elif value < 0:
+        issues.add(path, f"must not be negative (got {value!r})")
+
+
+def _check_seed(value, path, issues):
+    if not _is_int(value):
+        issues.add(path, f"expected an integer, got {_type_name(value)}")
+
+
+def _check_bool(value, path, issues):
+    if not isinstance(value, bool):
+        issues.add(path, f"expected a boolean, got {_type_name(value)}")
+
+
+def _check_thread_priorities(value, path, issues):
+    if not isinstance(value, (list, tuple)) or not value:
+        issues.add(path, "expected a non-empty list of real-time "
+                         f"priorities 16-31, got {_type_name(value)}")
+        return
+    for i, item in enumerate(value):
+        if not _is_int(item) or not 16 <= item <= 31:
+            issues.add(path + (i,),
+                       f"real-time priorities are integers 16-31 "
+                       f"(got {item!r})")
+
+
+def _check_dpc_importance(value, path, issues):
+    allowed = tuple(member.value for member in DpcImportance)
+    if not isinstance(value, str) or value not in allowed:
+        issues.add(path, f"must be one of {', '.join(allowed)} "
+                         f"(got {value!r})")
+
+
+def _check_app_priority(value, path, issues):
+    if not _is_int(value) or not 1 <= value <= 15:
+        issues.add(path, f"application priorities are integers 1-15 "
+                         f"(got {value!r})")
+
+
+def _check_app_processing(value, path, issues):
+    if not isinstance(value, (list, tuple)) or len(value) != 2:
+        issues.add(path, "expected [min_ms, max_ms]")
+        return
+    ok = True
+    for i, item in enumerate(value):
+        if not _is_real(item) or item < 0:
+            issues.add(path + (i,),
+                       f"must be a non-negative number (got {item!r})")
+            ok = False
+    if ok and value[0] > value[1]:
+        issues.add(path, f"min_ms {value[0]!r} exceeds max_ms {value[1]!r}")
+
+
+def _check_intrusions(value, path, issues):
+    names = value if isinstance(value, (list, tuple)) else [value]
+    items_path = path if isinstance(value, (list, tuple)) else None
+    for i, name in enumerate(names):
+        item_path = path + (i,) if items_path is not None else path
+        if not isinstance(name, str):
+            issues.add(item_path, "expected an intrusion preset name "
+                                  f"(got {_type_name(name)})")
+        elif name not in intrusion_preset_names():
+            issues.add(item_path,
+                       f"unknown intrusion preset {name!r}; available: "
+                       f"{', '.join(intrusion_preset_names())}")
+
+
+#: tool.<field>: validator.  Keys mirror LatencyToolConfig exactly.
+_TOOL_FIELDS = {
+    "pit_hz": _check_positive,
+    "delay_ms": _check_positive,
+    "thread_priorities": _check_thread_priorities,
+    "dpc_importance": _check_dpc_importance,
+    "isr_work_us": _check_non_negative,
+    "dpc_work_us": _check_non_negative,
+    "thread_work_us": _check_non_negative,
+    "app_priority": _check_app_priority,
+    "app_processing_ms": _check_app_processing,
+    "omniscient": _check_bool,
+}
+
+#: Base (non-matrix) scalar fields: validator per key.
+_BASE_FIELDS = {
+    "os": _check_os,
+    "workload": _check_workload,
+    "duration_s": _check_positive,
+    "seed": _check_seed,
+    "warmup_s": _check_non_negative,
+    "intrusions": _check_intrusions,
+}
+
+#: Everything allowed at the top level.
+_TOP_KEYS = ("scenario", "description", "tool", "matrix") + tuple(_BASE_FIELDS)
+
+#: Axes a matrix may sweep: the base fields plus dotted tool fields.
+_MATRIX_AXES = tuple(_BASE_FIELDS) + tuple(f"tool.{f}" for f in _TOOL_FIELDS)
+
+
+def _axis_validator(axis: str):
+    if axis in _BASE_FIELDS:
+        return _BASE_FIELDS[axis]
+    if axis.startswith("tool."):
+        return _TOOL_FIELDS.get(axis[len("tool."):])
+    return None
+
+
+# ----------------------------------------------------------------------
+# Coercion to exact config-field types
+# ----------------------------------------------------------------------
+# The whole fingerprint-stability guarantee lives here: YAML ``30`` and
+# Python ``30.0`` must produce the same canonical JSON, so every value
+# is forced to the type the dataclass field declares before the config
+# is built.
+def _coerce_tool_value(field: str, value: Any) -> Any:
+    if field in ("pit_hz", "delay_ms", "isr_work_us", "dpc_work_us",
+                 "thread_work_us"):
+        return float(value)
+    if field == "thread_priorities":
+        return tuple(int(v) for v in value)
+    if field == "dpc_importance":
+        return DpcImportance(value)
+    if field == "app_priority":
+        return int(value)
+    if field == "app_processing_ms":
+        return (float(value[0]), float(value[1]))
+    if field == "omniscient":
+        return bool(value)
+    raise KeyError(field)
+
+
+def _build_config(fields: Dict[str, Any]) -> ExperimentConfig:
+    tool_fields = {
+        name: _coerce_tool_value(name, value)
+        for name, value in fields.get("tool", {}).items()
+    }
+    intrusions = fields.get("intrusions", [])
+    if isinstance(intrusions, str):
+        intrusions = [intrusions]
+    return ExperimentConfig(
+        os_name=fields.get("os", "win98"),
+        workload=fields.get("workload", "office"),
+        duration_s=float(fields.get("duration_s", 30.0)),
+        seed=int(fields.get("seed", 1999)),
+        warmup_s=float(fields.get("warmup_s", 1.0)),
+        tool=LatencyToolConfig(**tool_fields),
+        extra_profile=merge_presets(list(intrusions)),
+    )
+
+
+def _format_axis_value(value: Any) -> str:
+    if isinstance(value, (list, tuple)):
+        return "+".join(str(v) for v in value)
+    return str(value)
+
+
+# ----------------------------------------------------------------------
+# The loader
+# ----------------------------------------------------------------------
+def scenario_from_data(
+    payload: Any,
+    source: str = "<data>",
+    linemap: Optional[Dict[SpecPath, int]] = None,
+) -> Scenario:
+    """Validate a parsed spec document and expand it into a Scenario.
+
+    Raises :class:`ScenarioError` carrying every defect found; never
+    raises anything else for malformed payloads of JSON-representable
+    shapes.
+    """
+    issues = _Issues(source, linemap)
+    if not isinstance(payload, dict):
+        issues.add((), f"spec must be a mapping, got {_type_name(payload)}")
+        issues.raise_if_any()
+
+    for key in payload:
+        if not isinstance(key, str) or key not in _TOP_KEYS:
+            issues.add((str(key),),
+                       f"unknown key (expected one of {', '.join(_TOP_KEYS)})")
+
+    name = payload.get("scenario")
+    if not isinstance(name, str) or not name.strip():
+        issues.add(("scenario",),
+                   "every spec needs a non-empty 'scenario' name string")
+        name = "<unnamed>"
+    description = payload.get("description", "")
+    if not isinstance(description, str):
+        issues.add(("description",),
+                   f"expected a string, got {_type_name(description)}")
+        description = ""
+
+    for field, check in _BASE_FIELDS.items():
+        if field in payload:
+            check(payload[field], (field,), issues)
+
+    tool_block = payload.get("tool", {})
+    if not isinstance(tool_block, dict):
+        issues.add(("tool",),
+                   f"expected a mapping of latency-tool fields, "
+                   f"got {_type_name(tool_block)}")
+        tool_block = {}
+    else:
+        for field, value in tool_block.items():
+            check = _TOOL_FIELDS.get(field) if isinstance(field, str) else None
+            if check is None:
+                issues.add(("tool", str(field)),
+                           f"unknown latency-tool field (expected one of "
+                           f"{', '.join(_TOOL_FIELDS)})")
+            else:
+                check(value, ("tool", field), issues)
+
+    matrix = payload.get("matrix")
+    axes: List[Tuple[str, List[Any]]] = []
+    if matrix is not None:
+        if not isinstance(matrix, dict):
+            issues.add(("matrix",),
+                       f"expected a mapping of axis lists, "
+                       f"got {_type_name(matrix)}")
+        elif not matrix:
+            issues.add(("matrix",), "matrix needs at least one axis")
+        else:
+            for axis, values in matrix.items():
+                axis_path = ("matrix", str(axis))
+                check = _axis_validator(axis) if isinstance(axis, str) else None
+                if check is None:
+                    issues.add(axis_path,
+                               f"unknown matrix axis (expected one of "
+                               f"{', '.join(_MATRIX_AXES)})")
+                    continue
+                if not isinstance(values, (list, tuple)):
+                    issues.add(axis_path,
+                               f"matrix axis must be a list of values, "
+                               f"got {_type_name(values)}")
+                    continue
+                if not values:
+                    issues.add(axis_path, "matrix axis must not be empty")
+                    continue
+                for i, value in enumerate(values):
+                    check(value, axis_path + (i,), issues)
+                axes.append((axis, list(values)))
+
+    issues.raise_if_any()
+
+    # ------------------------------------------------------------------
+    # Expansion: document-ordered cross-product of the matrix axes.
+    # ------------------------------------------------------------------
+    base: Dict[str, Any] = {
+        field: payload[field] for field in _BASE_FIELDS if field in payload
+    }
+    base["tool"] = dict(tool_block)
+
+    cells: List[ScenarioCell] = []
+    if not axes:
+        combos: Sequence[Tuple[Any, ...]] = [()]
+    else:
+        combos = list(itertools.product(*(values for _, values in axes)))
+    for combo in combos:
+        fields = dict(base)
+        fields["tool"] = dict(base["tool"])
+        overrides = []
+        for (axis, _values), value in zip(axes, combo):
+            overrides.append((axis, value))
+            if axis.startswith("tool."):
+                fields["tool"][axis[len("tool."):]] = value
+            else:
+                fields[axis] = value
+        try:
+            config = _build_config(fields)
+        except (ValueError, TypeError, KeyError) as exc:
+            # A constraint the schema walk did not anticipate (the
+            # dataclass __post_init__ is the final authority): still a
+            # spec problem, still typed.
+            label = ", ".join(f"{axis}={_format_axis_value(v)}"
+                              for axis, v in overrides)
+            issues.add(("matrix",) if overrides else (),
+                       f"cell [{label}] does not form a valid config: {exc}"
+                       if overrides else f"does not form a valid config: {exc}")
+            continue
+        if overrides:
+            label = name + "[" + ", ".join(
+                f"{axis}={_format_axis_value(v)}" for axis, v in overrides
+            ) + "]"
+        else:
+            label = name
+        cells.append(ScenarioCell(label=label, config=config,
+                                  overrides=tuple(overrides)))
+    issues.raise_if_any()
+
+    return Scenario(
+        name=name, description=description, source=source, cells=tuple(cells)
+    )
+
+
+def load_scenario_text(
+    text: str, source: str = "<string>", format: str = "yaml"
+) -> Scenario:
+    """Load a spec from document text (``format``: ``"yaml"`` or ``"json"``)."""
+    if format == "json":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(source, [
+                ScenarioIssue((), f"unparsable JSON: {exc.msg}", line=exc.lineno)
+            ]) from exc
+        linemap: Dict[SpecPath, int] = {}
+    elif format == "yaml":
+        payload, linemap = yaml_lite.parse(text, source)
+    else:
+        raise ValueError(f"unknown spec format {format!r} (yaml or json)")
+    return scenario_from_data(payload, source=source, linemap=linemap)
+
+
+def load_scenario(path: Union[str, Path]) -> Scenario:
+    """Load a spec file (``.json`` -> JSON, anything else -> YAML subset).
+
+    Raises :class:`ScenarioError` for malformed/invalid specs and the
+    usual :class:`OSError` family when the file cannot be read.
+    """
+    path = Path(path)
+    text = path.read_text()
+    format = "json" if path.suffix.lower() == ".json" else "yaml"
+    return load_scenario_text(text, source=str(path), format=format)
+
+
+# ----------------------------------------------------------------------
+# The inverse: config -> spec
+# ----------------------------------------------------------------------
+def config_to_spec(config: ExperimentConfig, name: str = "cell") -> Dict[str, Any]:
+    """Reduce a config to a spec dict that loads back to the same cell.
+
+    The inverse of loading a single-cell spec: for any config whose
+    ``extra_profile`` is (a merge of) named presets,
+    ``scenario_from_data(config_to_spec(c)).cells[0].config`` has the
+    same :func:`~repro.core.campaign.cache_key` as ``c``.  Raises
+    :class:`ScenarioError` when the profile has no preset name.
+    """
+    preset_names = preset_names_for_profile(config.extra_profile)
+    if preset_names is None:
+        raise ScenarioError("<config>", [ScenarioIssue(
+            ("intrusions",),
+            f"extra_profile {config.extra_profile.name!r} is not a named "
+            f"intrusion preset (available: "
+            f"{', '.join(intrusion_preset_names())})",
+        )])
+    tool = config.tool
+    spec: Dict[str, Any] = {
+        "scenario": name,
+        "os": config.os_name,
+        "workload": config.workload,
+        "duration_s": float(config.duration_s),
+        "seed": int(config.seed),
+        "warmup_s": float(config.warmup_s),
+        "tool": {
+            "pit_hz": float(tool.pit_hz),
+            "delay_ms": float(tool.delay_ms),
+            "thread_priorities": [int(p) for p in tool.thread_priorities],
+            "dpc_importance": tool.dpc_importance.value,
+            "isr_work_us": float(tool.isr_work_us),
+            "dpc_work_us": float(tool.dpc_work_us),
+            "thread_work_us": float(tool.thread_work_us),
+            "app_priority": int(tool.app_priority),
+            "app_processing_ms": [float(tool.app_processing_ms[0]),
+                                  float(tool.app_processing_ms[1])],
+            "omniscient": bool(tool.omniscient),
+        },
+    }
+    if preset_names:
+        spec["intrusions"] = preset_names
+    return spec

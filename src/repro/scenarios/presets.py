@@ -1,0 +1,143 @@
+"""Named intrusion presets scenario specs can reference.
+
+A spec says ``intrusions: [scanner-storm]`` instead of constructing
+:class:`~repro.kernel.intrusions.LoadProfile` objects in Python.  The
+registry deliberately reuses the calibrated perturbations from
+:mod:`repro.workloads.perturbations` where the paper defined them
+(Figure 5's virus scanner, section 4.4's sound scheme) and adds the
+adversarial overlays the scenario corpus sweeps: a scanner running at
+storm rates, a paging blackout, and a DPC flood.
+
+Multiple presets in one spec merge in listed order via
+:meth:`LoadProfile.merged_with`, exactly as Python callers combine
+perturbations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.kernel.intrusions import IntrusionKind, IntrusionSpec, LoadProfile
+from repro.sim.rng import DurationDistribution
+from repro.workloads.perturbations import DEFAULT_SOUND_SCHEME, VIRUS_SCANNER
+
+#: The Plus! 98 scanner with its file hooks firing at 2.5x the calibrated
+#: rate and a quarter again the scan lengths: the "scanner storm" a
+#: signature update or a full-disk sweep produces.  Against the games
+#: workload this blows the soft-modem's 16 ms deadline routinely (see the
+#: corpus' adversarial_scanner_storm spec) while the measurement app
+#: still completes enough cycles to show it.
+SCANNER_STORM = LoadProfile(
+    name="scanner-storm",
+    intrusions=tuple(
+        spec.scaled(rate_factor=2.5, duration_factor=1.25)
+        for spec in VIRUS_SCANNER.intrusions
+    ),
+)
+
+#: A paging blackout: the VMM servicing hard faults from the pagefile in
+#: non-reentrant kernel sections tens of milliseconds long, plus the
+#: short CLI windows VCACHE takes flushing dirty blocks.  SECTION-kind,
+#: so it manufactures *thread* latency while DPCs sail through -- the
+#: Windows 98 failure mode of Table 3 pushed to its limit.
+PAGING_BLACKOUT = LoadProfile(
+    name="paging-blackout",
+    intrusions=(
+        IntrusionSpec(
+            name="vmm-pagein",
+            kind=IntrusionKind.SECTION,
+            rate_hz=3.0,
+            duration=DurationDistribution(
+                body_median_ms=12.0, body_sigma=0.7, tail_prob=0.25,
+                tail_scale_ms=40.0, tail_alpha=1.8, max_ms=120.0,
+            ),
+            module="VMM",
+            function="_PageInFromFile",
+        ),
+        IntrusionSpec(
+            name="vcache-flush",
+            kind=IntrusionKind.CLI,
+            rate_hz=8.0,
+            duration=DurationDistribution(
+                body_median_ms=0.08, body_sigma=0.8, tail_prob=0.05,
+                tail_scale_ms=0.4, tail_alpha=2.2, max_ms=2.0,
+            ),
+            module="VCACHE",
+            function="_FlushDirtyBlocks",
+        ),
+    ),
+)
+
+#: A DPC flood: a misbehaving NIC driver queueing medium-importance DPCs
+#: near the PIT rate.  DPCs drain FIFO, so every tool DPC queues behind
+#: flood work -- this is what "max DPC load" means in the corpus'
+#: adversarial cells.
+DPC_FLOOD = LoadProfile(
+    name="dpc-flood",
+    intrusions=(
+        IntrusionSpec(
+            name="ndis-rx-flood",
+            kind=IntrusionKind.DPC,
+            rate_hz=900.0,
+            duration=DurationDistribution(
+                body_median_ms=0.3, body_sigma=0.6, tail_prob=0.05,
+                tail_scale_ms=1.0, tail_alpha=2.2, max_ms=4.0,
+            ),
+            module="NDIS",
+            function="_NdisRxIndicate",
+        ),
+    ),
+)
+
+#: Registry: the names scenario specs may use in ``intrusions:``.
+INTRUSION_PRESETS: Dict[str, LoadProfile] = {
+    "virus-scanner": VIRUS_SCANNER,
+    "sound-scheme": DEFAULT_SOUND_SCHEME,
+    "scanner-storm": SCANNER_STORM,
+    "paging-blackout": PAGING_BLACKOUT,
+    "dpc-flood": DPC_FLOOD,
+}
+
+
+def intrusion_preset_names() -> Tuple[str, ...]:
+    return tuple(sorted(INTRUSION_PRESETS))
+
+
+def intrusion_preset(name: str) -> LoadProfile:
+    try:
+        return INTRUSION_PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown intrusion preset {name!r}; "
+            f"available: {', '.join(intrusion_preset_names())}"
+        ) from None
+
+
+def merge_presets(names: List[str]) -> Optional[LoadProfile]:
+    """Fold a list of preset names into one profile (``None`` if empty)."""
+    profile: Optional[LoadProfile] = None
+    for name in names:
+        preset = intrusion_preset(name)
+        profile = preset if profile is None else profile.merged_with(preset)
+    return profile
+
+
+def preset_names_for_profile(profile: Optional[LoadProfile]) -> Optional[List[str]]:
+    """Invert :func:`merge_presets` for spec round-trips.
+
+    Returns the preset-name list that reproduces ``profile``, or ``None``
+    when the profile is not expressible as (a merge of) named presets --
+    callers surface that as a :class:`ScenarioError`.  Single presets and
+    ordered pairs are recognized; deeper merges are not (the corpus never
+    needs them and an exhaustive search would hide typos).
+    """
+    if profile is None:
+        return []
+    for name, preset in INTRUSION_PRESETS.items():
+        if preset == profile:
+            return [name]
+    for first, a in INTRUSION_PRESETS.items():
+        for second, b in INTRUSION_PRESETS.items():
+            if first != second and a.merged_with(b) == profile:
+                return [first, second]
+    return None

@@ -1,0 +1,267 @@
+"""A stdlib-only parser for the YAML subset scenario specs use.
+
+The container bakes in no YAML library and the specs need none of
+YAML's dark corners (anchors, tags, flow mappings, multi-document
+streams).  What they do need -- and what this parser supports -- is:
+
+* nested mappings by two-or-more-space indentation;
+* block sequences of scalars (``- item``) and inline lists (``[a, b]``);
+* scalars: ``null``/``~``, booleans, integers, floats (including
+  scientific notation), single/double-quoted strings, bare strings;
+* ``#`` comments (full-line, or trailing after whitespace);
+* duplicate-key and tab-indentation rejection.
+
+Beyond the data, :func:`parse` returns a **line map**: spec-path tuple
+(see :mod:`repro.scenarios.errors`) to the 1-based source line of that
+node, so schema validation can report every error with the exact file
+line -- the property the whole scenario-error contract rests on.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.scenarios.errors import ScenarioError, ScenarioIssue, SpecPath
+
+#: ``key:`` at the start of a content line.  Keys are the identifier-ish
+#: names the scenario schema uses (letters, digits, ``_ - .``).
+_KEY_RE = re.compile(r"^(?P<key>[A-Za-z0-9_.-]+)\s*:(?:\s+(?P<value>.*))?$")
+_INT_RE = re.compile(r"^[-+]?\d+$")
+_FLOAT_RE = re.compile(r"^[-+]?(\d+\.\d*|\.\d+|\d+)([eE][-+]?\d+)?$")
+
+
+class _Line:
+    __slots__ = ("number", "indent", "content")
+
+    def __init__(self, number: int, indent: int, content: str):
+        self.number = number
+        self.indent = indent
+        self.content = content
+
+
+def _fail(source: str, line: int, message: str, path: SpecPath = ()) -> None:
+    raise ScenarioError(source, [ScenarioIssue(path, message, line=line)])
+
+
+def _strip_comment(text: str) -> str:
+    """Drop a trailing ``#`` comment (outside quotes, preceded by space)."""
+    in_single = in_double = False
+    for i, ch in enumerate(text):
+        if ch == "'" and not in_double:
+            in_single = not in_single
+        elif ch == '"' and not in_single:
+            in_double = not in_double
+        elif ch == "#" and not in_single and not in_double:
+            if i == 0 or text[i - 1] in " \t":
+                return text[:i].rstrip()
+    return text.rstrip()
+
+
+def parse_scalar(token: str, source: str = "<scenario>", line: int = 0) -> Any:
+    """One scalar token to its Python value."""
+    token = token.strip()
+    if token in ("null", "~", "Null", "NULL"):
+        return None
+    if token in ("true", "True", "TRUE"):
+        return True
+    if token in ("false", "False", "FALSE"):
+        return False
+    if _INT_RE.match(token):
+        return int(token)
+    if _FLOAT_RE.match(token):
+        return float(token)
+    if len(token) >= 2 and token[0] == token[-1] and token[0] in "'\"":
+        return token[1:-1]
+    if token.startswith(("'", '"')):
+        _fail(source, line, f"unterminated quoted string {token!r}")
+    if token.startswith(("[", "{")) or token.endswith(("]", "}")):
+        _fail(source, line, f"malformed inline collection {token!r}")
+    return token
+
+
+def _parse_inline_list(
+    text: str, source: str, line: int, path: SpecPath,
+    linemap: Dict[SpecPath, int],
+) -> List[Any]:
+    body = text.strip()[1:-1].strip()
+    if not body:
+        return []
+    items = []
+    for i, token in enumerate(body.split(",")):
+        if not token.strip():
+            _fail(source, line, "empty element in inline list", path + (i,))
+        linemap[path + (i,)] = line
+        items.append(parse_scalar(token, source, line))
+    return items
+
+
+def _parse_value(
+    text: str, source: str, line: int, path: SpecPath,
+    linemap: Dict[SpecPath, int],
+) -> Any:
+    text = text.strip()
+    if text.startswith("[") and text.endswith("]"):
+        return _parse_inline_list(text, source, line, path, linemap)
+    return parse_scalar(text, source, line)
+
+
+def _parse_block(
+    lines: List[_Line], start: int, indent: int, source: str,
+    path: SpecPath, linemap: Dict[SpecPath, int],
+) -> Tuple[Any, int]:
+    """Parse one block (mapping or sequence) at exactly ``indent``.
+
+    Returns ``(value, next_index)``.
+    """
+    first = lines[start]
+    if first.content.startswith("- ") or first.content == "-":
+        return _parse_sequence(lines, start, indent, source, path, linemap)
+    return _parse_mapping(lines, start, indent, source, path, linemap)
+
+
+def _parse_sequence(
+    lines: List[_Line], start: int, indent: int, source: str,
+    path: SpecPath, linemap: Dict[SpecPath, int],
+) -> Tuple[List[Any], int]:
+    items: List[Any] = []
+    i = start
+    while i < len(lines) and lines[i].indent == indent:
+        line = lines[i]
+        if not (line.content.startswith("- ") or line.content == "-"):
+            _fail(source, line.number,
+                  "mixed sequence and mapping entries in one block", path)
+        token = line.content[1:].strip()
+        item_path = path + (len(items),)
+        linemap[item_path] = line.number
+        if not token:
+            _fail(source, line.number,
+                  "sequence item has no value (nested blocks under '-' are "
+                  "not part of the scenario subset)", item_path)
+        if _KEY_RE.match(token):
+            _fail(source, line.number,
+                  "mappings inside sequences are not part of the scenario "
+                  "subset; use a named preset or a matrix axis", item_path)
+        items.append(_parse_value(token, source, line.number, item_path, linemap))
+        i += 1
+    if i < len(lines) and lines[i].indent > indent:
+        _fail(source, lines[i].number,
+              f"unexpected indent (expected {indent} spaces)", path)
+    return items, i
+
+
+def _parse_mapping(
+    lines: List[_Line], start: int, indent: int, source: str,
+    path: SpecPath, linemap: Dict[SpecPath, int],
+) -> Tuple[Dict[str, Any], int]:
+    mapping: Dict[str, Any] = {}
+    i = start
+    while i < len(lines) and lines[i].indent == indent:
+        line = lines[i]
+        match = _KEY_RE.match(line.content)
+        if match is None:
+            _fail(source, line.number,
+                  f"expected 'key: value', got {line.content!r}", path)
+        key = match.group("key")
+        if key in mapping:
+            _fail(source, line.number, f"duplicate key {key!r}", path + (key,))
+        key_path = path + (key,)
+        linemap[key_path] = line.number
+        value_text = match.group("value")
+        if value_text is not None:
+            value_text = _strip_comment(value_text).strip()
+        if value_text:
+            mapping[key] = _parse_value(
+                value_text, source, line.number, key_path, linemap
+            )
+            i += 1
+            continue
+        # Bare "key:" -- the value is the next, deeper-indented block.
+        i += 1
+        if i >= len(lines) or lines[i].indent <= indent:
+            _fail(source, line.number, f"key {key!r} has no value", key_path)
+        child_indent = lines[i].indent
+        mapping[key], i = _parse_block(
+            lines, i, child_indent, source, key_path, linemap
+        )
+    if i < len(lines) and lines[i].indent > indent:
+        _fail(source, lines[i].number,
+              f"unexpected indent (expected {indent} spaces)", path)
+    return mapping, i
+
+
+def parse(text: str, source: str = "<scenario>") -> Tuple[Any, Dict[SpecPath, int]]:
+    """Parse a YAML-subset document.
+
+    Returns ``(data, linemap)`` where ``linemap`` maps each node's spec
+    path to its 1-based source line.  Raises :class:`ScenarioError` (one
+    issue, with the line) on any syntax problem.
+    """
+    lines: List[_Line] = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        content = _strip_comment(raw)
+        if not content.strip():
+            continue
+        stripped = content.lstrip(" ")
+        indent = len(content) - len(stripped)
+        if "\t" in raw[: len(raw) - len(raw.lstrip())]:
+            _fail(source, number, "tabs are not allowed in indentation")
+        lines.append(_Line(number, indent, stripped))
+    if not lines:
+        _fail(source, 1, "empty document")
+    if lines[0].indent != 0:
+        _fail(source, lines[0].number, "top level must not be indented")
+    linemap: Dict[SpecPath, int] = {}
+    data, consumed = _parse_block(lines, 0, 0, source, (), linemap)
+    if consumed != len(lines):
+        stray = lines[consumed]
+        _fail(source, stray.number,
+              f"unexpected indent (expected 0 spaces)")
+    return data, linemap
+
+
+def dump(data: Any, indent: int = 0) -> str:
+    """Render a plain dict/list/scalar tree back to the YAML subset.
+
+    Round-trips through :func:`parse` (used by tests and by
+    ``config_to_spec`` consumers who want a file back out).
+    """
+    pad = " " * indent
+    if isinstance(data, dict):
+        if not data:
+            raise ValueError("cannot dump an empty mapping in the YAML subset")
+        chunks = []
+        for key, value in data.items():
+            if isinstance(value, dict):
+                chunks.append(f"{pad}{key}:\n{dump(value, indent + 2)}")
+            elif isinstance(value, (list, tuple)):
+                rendered = ", ".join(_dump_scalar(item) for item in value)
+                chunks.append(f"{pad}{key}: [{rendered}]")
+            else:
+                chunks.append(f"{pad}{key}: {_dump_scalar(value)}")
+        return "\n".join(chunks)
+    raise ValueError("top-level scenario dumps must be mappings")
+
+
+def _dump_scalar(value: Any) -> str:
+    if value is None:
+        return "null"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    text = str(value)
+    if (
+        not text
+        or text != text.strip()
+        or any(ch in text for ch in ":#[]{},\"'\n\t")
+        or parse_scalar(text) != text
+    ):
+        if '"' not in text and "\n" not in text:
+            return f'"{text}"'
+        if "'" not in text and "\n" not in text:
+            return f"'{text}'"
+        raise ValueError(f"cannot represent {text!r} in the YAML subset")
+    return text

@@ -246,6 +246,29 @@ class ServiceClient:
         """Drain :meth:`stream_results` into a list."""
         return list(self.stream_results(configs))
 
+    def submit_scenario(
+        self,
+        scenario,
+        as_text: bool = False,
+        deadline_s: Optional[float] = None,
+    ) -> Iterator[Any]:
+        """Run every cell of a loaded scenario; yield ``(cell, result)``.
+
+        ``scenario`` is a :class:`repro.scenarios.Scenario` (duck-typed:
+        anything with ``.cells`` whose items carry ``.config`` works, so
+        this module never imports the loader).  Cells are admitted up
+        front via :meth:`stream_results` -- identical matrix cells
+        coalesce server-side by cache key -- and results arrive in spec
+        document order, paired with the cell that produced them.
+        """
+        cells = list(scenario.cells)
+        results = self.stream_results(
+            [cell.config for cell in cells],
+            as_text=as_text, deadline_s=deadline_s,
+        )
+        for cell, result in zip(cells, results):
+            yield cell, result
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------

@@ -36,6 +36,17 @@ GOLDEN_KEY_NT4_GAMES = (
     "3dd599dbf95f4c85cbc0e4d36169b944580604b7fa9bd07c39e09f63e1f220ed"
 )
 
+#: Corpus pins: two cells loaded from scenarios/ specs.  These keys must
+#: survive loader changes too -- a spec whose key drifts would orphan
+#: every cached result addressed through it, so the declarative path is
+#: pinned exactly like the Python one.
+GOLDEN_KEY_FIGURE6_SPEC = (
+    "165bbd65f7c95212f15e925805649f487d2e8cfc03d4ed29700d5b0b1d202dd8"
+)
+GOLDEN_KEY_PIT_SWEEP_CELL0 = (
+    "8f3310e1dd3d70d7fa1f01639e12c3bfbf5b1189c24a6aee1716191b60d5f68d"
+)
+
 
 class TestFingerprintGolden:
     def test_default_config_fingerprint_is_pinned(self):
@@ -49,6 +60,26 @@ class TestFingerprintGolden:
             os_name="nt4", workload="games", duration_s=5.0, seed=7
         )
         assert cache_key(config) == GOLDEN_KEY_NT4_GAMES
+
+    def test_figure6_spec_key_is_pinned(self):
+        from pathlib import Path
+
+        from repro.scenarios import load_scenario
+
+        spec = Path(__file__).resolve().parent.parent / "scenarios"
+        scenario = load_scenario(spec / "figure6_softmodem_dpc.yaml")
+        assert scenario.cells[0].cache_key == GOLDEN_KEY_FIGURE6_SPEC
+
+    def test_pit_sweep_matrix_cell_key_is_pinned(self):
+        from pathlib import Path
+
+        from repro.scenarios import load_scenario
+
+        spec = Path(__file__).resolve().parent.parent / "scenarios"
+        scenario = load_scenario(spec / "sweep_pit_frequency.yaml")
+        cell = scenario.cells[0]
+        assert cell.label == "pit-frequency-sweep[tool.pit_hz=250.0, workload=idle]"
+        assert cell.cache_key == GOLDEN_KEY_PIT_SWEEP_CELL0
 
     def test_fingerprint_has_no_whitespace_and_sorted_keys(self):
         # The canonical form must stay canonical: compact separators and

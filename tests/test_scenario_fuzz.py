@@ -1,0 +1,185 @@
+"""Fuzzing the scenario loader (hypothesis): total, typed, crash-free.
+
+In the :mod:`test_kernel_fuzz` style: generate hostile inputs and check
+the invariants that must hold for *any* byte stream handed to the
+loader:
+
+* parsing/loading never raises anything but :class:`ScenarioError`
+  (no UnboundLocalError out of the indent tracker, no KeyError out of
+  the validators, no TypeError out of coercion);
+* a mutated valid spec either still loads -- in which case its cells
+  are well-formed frozen configs -- or reports; it never half-loads;
+* the error report always names the source it was given.
+"""
+
+import random
+
+from hypothesis import example, given, settings
+from hypothesis import strategies as st
+
+from repro.core.campaign import cache_key
+from repro.core.experiment import ExperimentConfig
+from repro.scenarios import (
+    ScenarioError,
+    config_to_spec,
+    load_scenario_text,
+    scenario_from_data,
+    yaml_lite,
+)
+
+#: Seed documents for mutation: a defaults cell, a tool-override cell,
+#: and a matrix sweep -- every syntactic feature the subset has.
+BASE_TEXTS = [
+    yaml_lite.dump(config_to_spec(ExperimentConfig())),
+    (
+        "scenario: sweep   # comment\n"
+        "description: mutation fodder\n"
+        "os: win98\n"
+        "duration_s: 4.0\n"
+        "intrusions: [virus-scanner]\n"
+        "tool:\n"
+        "  pit_hz: 250.0\n"
+        "  thread_priorities: [28, 24]\n"
+        "matrix:\n"
+        "  seed: [1, 2]\n"
+        "  workload: [idle, office]\n"
+    ),
+]
+
+
+def _load_or_report(text):
+    """The invariant: a Scenario comes back whole, or ScenarioError."""
+    try:
+        scenario = load_scenario_text(text, source="<fuzz>")
+    except ScenarioError as exc:
+        assert "<fuzz>" in str(exc)
+        return None
+    for cell in scenario.cells:
+        assert isinstance(cell.config, ExperimentConfig)
+        assert len(cache_key(cell.config)) == 64
+    return scenario
+
+
+class TestTextMutations:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        base=st.sampled_from(BASE_TEXTS),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        edits=st.integers(min_value=1, max_value=12),
+    )
+    def test_character_mutations_never_crash(self, base, seed, edits):
+        rng = random.Random(seed)
+        chars = list(base)
+        alphabet = "azAZ09:-.#[]{}~'\"\t\n "
+        for _ in range(edits):
+            op = rng.randrange(3)
+            pos = rng.randrange(len(chars) + (op == 0))
+            if op == 0:
+                chars.insert(pos, rng.choice(alphabet))
+            elif chars:
+                if op == 1:
+                    del chars[pos % len(chars)]
+                else:
+                    chars[pos % len(chars)] = rng.choice(alphabet)
+        _load_or_report("".join(chars))
+
+    @settings(max_examples=100, deadline=None)
+    @given(text=st.text(max_size=400))
+    @example(text="")
+    @example(text="\x00")
+    @example(text=": : :\n- -\n")
+    @example(text="scenario: x\nmatrix:\n")
+    def test_arbitrary_text_never_crashes(self, text):
+        _load_or_report(text)
+
+    @settings(max_examples=80, deadline=None)
+    @given(text=st.text(max_size=200))
+    def test_arbitrary_json_text_never_crashes(self, text):
+        try:
+            scenario = load_scenario_text(text, source="<fuzz>",
+                                          format="json")
+        except ScenarioError:
+            return
+        assert scenario.cells
+
+
+#: Junk values a structure mutation may plant anywhere in the payload.
+_JUNK = st.one_of(
+    st.none(), st.booleans(),
+    st.integers(min_value=-2**40, max_value=2**40),
+    st.floats(allow_nan=True, allow_infinity=True),
+    st.text(max_size=8),
+    st.lists(st.one_of(st.none(), st.integers(), st.text(max_size=4)),
+             max_size=3),
+    st.dictionaries(st.text(max_size=6), st.integers(), max_size=2),
+)
+
+
+class TestStructureMutations:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        key=st.one_of(
+            st.sampled_from(["scenario", "os", "workload", "duration_s",
+                             "seed", "warmup_s", "intrusions", "tool",
+                             "matrix", "description", "zzz_unknown"]),
+            st.text(max_size=10),
+        ),
+        value=_JUNK,
+    )
+    def test_planted_junk_is_reported_not_crashed(self, key, value):
+        payload = config_to_spec(ExperimentConfig())
+        payload[key] = value
+        try:
+            scenario = scenario_from_data(payload, source="<fuzz>")
+        except ScenarioError as exc:
+            assert exc.issues
+            return
+        assert scenario.cells  # still-valid mutation: loads whole
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        field=st.sampled_from(["pit_hz", "delay_ms", "thread_priorities",
+                               "dpc_importance", "isr_work_us",
+                               "app_priority", "app_processing_ms",
+                               "omniscient"]),
+        value=_JUNK,
+    )
+    def test_planted_tool_junk_is_reported_not_crashed(self, field, value):
+        payload = config_to_spec(ExperimentConfig())
+        payload["tool"][field] = value
+        try:
+            scenario = scenario_from_data(payload, source="<fuzz>")
+        except ScenarioError:
+            return
+        assert scenario.cells
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        axis=st.sampled_from(["os", "seed", "tool.pit_hz",
+                              "tool.thread_priorities", "nonsense.axis"]),
+        values=_JUNK,
+    )
+    def test_planted_matrix_junk_is_reported_not_crashed(self, axis, values):
+        payload = config_to_spec(ExperimentConfig())
+        payload["matrix"] = {axis: values}
+        try:
+            scenario = scenario_from_data(payload, source="<fuzz>")
+        except ScenarioError:
+            return
+        assert scenario.cells
+
+    @settings(max_examples=60, deadline=None)
+    @given(payload=st.recursive(
+        _JUNK,
+        lambda children: st.one_of(
+            st.lists(children, max_size=3),
+            st.dictionaries(st.text(max_size=8), children, max_size=3),
+        ),
+        max_leaves=12,
+    ))
+    def test_arbitrary_payload_shapes_never_crash(self, payload):
+        try:
+            scenario = scenario_from_data(payload, source="<fuzz>")
+        except ScenarioError:
+            return
+        assert scenario.cells

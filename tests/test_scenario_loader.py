@@ -1,0 +1,330 @@
+"""The scenario loader: round trips, total error reporting, yaml_lite.
+
+Three contracts under test:
+
+* **Round-trip fingerprint stability** -- for any valid config in the
+  schema's domain, ``config -> config_to_spec -> scenario_from_data``
+  returns a cell with the *same cache key* (hypothesis drives the domain,
+  including presets and the YAML text path).
+* **Total error reporting** -- a malformed spec raises one
+  :class:`ScenarioError` naming *every* defective path, with source
+  lines when loaded from text.
+* **yaml_lite** -- the stdlib YAML-subset parser: scalars, nesting,
+  sequences, comments, the line map, and its rejection diagnostics.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.campaign import cache_key
+from repro.core.experiment import ExperimentConfig
+from repro.drivers.latency import LatencyToolConfig
+from repro.kernel.boot import OS_NAMES
+from repro.kernel.dpc import DpcImportance
+from repro.scenarios import (
+    ScenarioError,
+    config_to_spec,
+    format_path,
+    intrusion_preset_names,
+    load_scenario_text,
+    scenario_from_data,
+)
+from repro.scenarios import yaml_lite
+from repro.workloads.base import workload_names
+
+
+# ----------------------------------------------------------------------
+# Strategy: the schema's whole valid domain
+# ----------------------------------------------------------------------
+def _tool_configs():
+    wall = st.floats(min_value=0.05, max_value=50.0, allow_nan=False,
+                     allow_infinity=False)
+    work = st.floats(min_value=0.0, max_value=20.0, allow_nan=False,
+                     allow_infinity=False)
+    bounds = st.tuples(
+        st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+    ).map(lambda pair: tuple(sorted(pair)))
+    return st.builds(
+        LatencyToolConfig,
+        pit_hz=st.sampled_from([100.0, 250.0, 1000.0, 2048.0]),
+        delay_ms=wall,
+        thread_priorities=st.lists(
+            st.integers(min_value=16, max_value=31), min_size=1, max_size=4,
+        ).map(tuple),
+        dpc_importance=st.sampled_from(list(DpcImportance)),
+        isr_work_us=work,
+        dpc_work_us=work,
+        thread_work_us=work,
+        app_priority=st.integers(min_value=1, max_value=15),
+        app_processing_ms=bounds,
+        omniscient=st.booleans(),
+    )
+
+
+def _experiment_configs():
+    return st.builds(
+        ExperimentConfig,
+        os_name=st.sampled_from(OS_NAMES),
+        workload=st.sampled_from(workload_names()),
+        duration_s=st.floats(min_value=0.1, max_value=120.0,
+                             allow_nan=False, allow_infinity=False),
+        seed=st.integers(min_value=0, max_value=2**31),
+        warmup_s=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        tool=_tool_configs(),
+        extra_profile=st.sampled_from([None] + [
+            __import__("repro.scenarios.presets", fromlist=["x"])
+            .INTRUSION_PRESETS[name]
+            for name in intrusion_preset_names()
+        ]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Round trips preserve the cache key
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(config=_experiment_configs())
+    def test_spec_round_trip_preserves_cache_key(self, config):
+        spec = config_to_spec(config)
+        loaded = scenario_from_data(spec).cells[0].config
+        assert loaded == config
+        assert cache_key(loaded) == cache_key(config)
+
+    @settings(max_examples=30, deadline=None)
+    @given(config=_experiment_configs())
+    def test_yaml_text_round_trip_preserves_cache_key(self, config):
+        # Through actual document text: dump -> parse -> load.
+        text = yaml_lite.dump(config_to_spec(config))
+        loaded = load_scenario_text(text).cells[0].config
+        assert cache_key(loaded) == cache_key(config)
+
+    def test_integer_valued_spec_matches_float_valued_config(self):
+        # The fingerprint-stability crux: YAML `30` must load to the
+        # same key as Python `30.0`.
+        spec = {"scenario": "x", "os": "win98", "workload": "office",
+                "duration_s": 30, "seed": 1999, "warmup_s": 1}
+        loaded = scenario_from_data(spec).cells[0].config
+        assert cache_key(loaded) == cache_key(ExperimentConfig())
+
+    def test_defaults_match_default_config(self):
+        loaded = scenario_from_data({"scenario": "defaults"}).cells[0].config
+        assert cache_key(loaded) == cache_key(ExperimentConfig())
+
+    def test_unnamed_profile_is_rejected_by_config_to_spec(self):
+        from repro.kernel.intrusions import LoadProfile
+
+        config = ExperimentConfig(extra_profile=LoadProfile(
+            name="bespoke", intrusions=()))
+        with pytest.raises(ScenarioError) as excinfo:
+            config_to_spec(config)
+        assert "intrusions" in str(excinfo.value)
+
+
+# ----------------------------------------------------------------------
+# Every defect reported, each with its path
+# ----------------------------------------------------------------------
+#: (payload fragment, path substring the report must contain)
+MALFORMED = [
+    ({"bogus": 1}, "bogus"),
+    ({"os": "beos"}, "os"),
+    ({"os": 17}, "os"),
+    ({"workload": "solitaire"}, "workload"),
+    ({"duration_s": -3}, "duration_s"),
+    ({"duration_s": "long"}, "duration_s"),
+    ({"duration_s": float("nan")}, "duration_s"),
+    ({"seed": 1.5}, "seed"),
+    ({"seed": True}, "seed"),
+    ({"warmup_s": -1}, "warmup_s"),
+    ({"intrusions": ["virus-scanner", "nope"]}, "intrusions[1]"),
+    ({"intrusions": [None]}, "intrusions[0]"),
+    ({"tool": 5}, "tool"),
+    ({"tool": {"bogus_field": 1}}, "tool.bogus_field"),
+    ({"tool": {"pit_hz": 0}}, "tool.pit_hz"),
+    ({"tool": {"thread_priorities": []}}, "tool.thread_priorities"),
+    ({"tool": {"thread_priorities": [28, 7]}}, "tool.thread_priorities[1]"),
+    ({"tool": {"dpc_importance": "urgent"}}, "tool.dpc_importance"),
+    ({"tool": {"app_priority": 22}}, "tool.app_priority"),
+    ({"tool": {"app_processing_ms": [2.0, 1.0]}}, "tool.app_processing_ms"),
+    ({"tool": {"app_processing_ms": [0.1]}}, "tool.app_processing_ms"),
+    ({"tool": {"omniscient": "yes please"}}, "tool.omniscient"),
+    ({"matrix": 3}, "matrix"),
+    ({"matrix": {}}, "matrix"),
+    ({"matrix": {"cpu": [1]}}, "matrix.cpu"),
+    ({"matrix": {"seed": []}}, "matrix.seed"),
+    ({"matrix": {"seed": 7}}, "matrix.seed"),
+    ({"matrix": {"seed": [1, "x"]}}, "matrix.seed[1]"),
+    ({"matrix": {"tool.pit_hz": [250.0, -1]}}, "matrix.tool.pit_hz[1]"),
+]
+
+
+class TestErrorReporting:
+    @pytest.mark.parametrize("fragment,path", MALFORMED)
+    def test_each_defect_names_its_path(self, fragment, path):
+        payload = {"scenario": "bad"}
+        payload.update(fragment)
+        with pytest.raises(ScenarioError) as excinfo:
+            scenario_from_data(payload)
+        assert path in str(excinfo.value)
+
+    def test_all_defects_reported_at_once(self):
+        payload = {
+            "scenario": "bad",
+            "bogus": 1,
+            "os": "beos",
+            "workload": "solitaire",
+            "duration_s": -3,
+            "seed": 1.5,
+            "warmup_s": -1,
+            "tool": {"pit_hz": 0, "app_priority": 22},
+            "matrix": {"seed": []},
+        }
+        with pytest.raises(ScenarioError) as excinfo:
+            scenario_from_data(payload)
+        # One error, every issue: one per defect, nothing swallowed.
+        assert len(excinfo.value.issues) == 9
+
+    def test_non_mapping_spec(self):
+        for payload in (None, 7, "scenario", [1, 2]):
+            with pytest.raises(ScenarioError):
+                scenario_from_data(payload)
+
+    def test_missing_scenario_name(self):
+        with pytest.raises(ScenarioError) as excinfo:
+            scenario_from_data({"os": "win98"})
+        assert "scenario" in str(excinfo.value)
+
+    def test_yaml_text_errors_carry_line_numbers(self):
+        text = ("scenario: bad\n"
+                "os: beos\n"
+                "tool:\n"
+                "  pit_hz: -5\n")
+        with pytest.raises(ScenarioError) as excinfo:
+            load_scenario_text(text, source="inline.yaml")
+        report = str(excinfo.value)
+        assert "inline.yaml" in report
+        assert "line 2: os:" in report
+        assert "line 4: tool.pit_hz:" in report
+
+    def test_json_parse_error_is_a_scenario_error(self):
+        with pytest.raises(ScenarioError) as excinfo:
+            load_scenario_text("{not json", format="json")
+        assert "JSON" in str(excinfo.value)
+
+    def test_format_path_rendering(self):
+        assert format_path(()) == "<spec>"
+        assert format_path(("tool", "pit_hz")) == "tool.pit_hz"
+        assert format_path(("matrix", "tool.pit_hz", 1)) == "matrix.tool.pit_hz[1]"
+
+
+# ----------------------------------------------------------------------
+# Matrix expansion semantics
+# ----------------------------------------------------------------------
+class TestMatrixExpansion:
+    def test_document_order_cross_product(self):
+        scenario = scenario_from_data({
+            "scenario": "grid",
+            "duration_s": 1.0,
+            "matrix": {"os": ["nt4", "win98"], "seed": [1, 2, 3]},
+        })
+        assert len(scenario) == 6
+        assert [c.overrides for c in scenario.cells][:3] == [
+            (("os", "nt4"), ("seed", 1)),
+            (("os", "nt4"), ("seed", 2)),
+            (("os", "nt4"), ("seed", 3)),
+        ]
+        assert len({c.cache_key for c in scenario.cells}) == 6
+
+    def test_matrix_overrides_base_field(self):
+        scenario = scenario_from_data({
+            "scenario": "s", "seed": 7, "matrix": {"seed": [8, 9]},
+        })
+        assert [c.config.seed for c in scenario.cells] == [8, 9]
+
+    def test_tool_axis_produces_exact_float_type(self):
+        scenario = scenario_from_data({
+            "scenario": "s", "matrix": {"tool.pit_hz": [250, 1000]},
+        })
+        for cell, expected in zip(scenario.cells, (250.0, 1000.0)):
+            assert cell.config.tool.pit_hz == expected
+            assert isinstance(cell.config.tool.pit_hz, float)
+        equivalent = ExperimentConfig(tool=LatencyToolConfig(pit_hz=250.0))
+        assert scenario.cells[0].cache_key == cache_key(equivalent)
+
+
+# ----------------------------------------------------------------------
+# yaml_lite: the stdlib YAML subset
+# ----------------------------------------------------------------------
+class TestYamlLite:
+    def test_scalars(self):
+        for text, expected in [
+            ("null", None), ("~", None), ("true", True), ("false", False),
+            ("42", 42), ("-3", -3), ("2.5", 2.5), ("1e3", 1000.0),
+            ('"quoted"', "quoted"), ("'single'", "single"), ("bare", "bare"),
+        ]:
+            assert yaml_lite.parse_scalar(text) == expected
+
+    def test_nested_document_with_linemap(self):
+        data, linemap = yaml_lite.parse(
+            "a: 1\n"
+            "block:\n"
+            "  inner: hi   # trailing comment\n"
+            "items:\n"
+            "  - 1\n"
+            "  - two\n"
+            "inline: [1, 2.0, x]\n",
+            "<t>",
+        )
+        assert data == {"a": 1, "block": {"inner": "hi"},
+                        "items": [1, "two"], "inline": [1, 2.0, "x"]}
+        assert linemap[("a",)] == 1
+        assert linemap[("block", "inner")] == 3
+        assert linemap[("items", 1)] == 6
+        assert linemap[("inline",)] == 7
+
+    @pytest.mark.parametrize("text,needle", [
+        ("a: 1\na: 2\n", "duplicate"),
+        ("\ta: 1\n", "tab"),
+        ("a: [1, 2\n", "inline"),
+        ('a: "unterminated\n', "quote"),
+        ("a:\n   b: 1\n  c: 2\n", "indent"),
+        ("just a scalar\n", "key: value"),
+        ("items:\n  - a: 1\n", "mappings inside sequences"),
+        ("items:\n  -\n    - x\n", "nested blocks"),
+    ])
+    def test_rejections_name_the_problem(self, text, needle):
+        with pytest.raises(ScenarioError) as excinfo:
+            yaml_lite.parse(text, "<t>")
+        assert needle in str(excinfo.value).lower()
+
+    def test_dump_parse_inverse(self):
+        doc = {"scenario": "x", "n": 3, "f": 0.25, "flag": True,
+               "none": None, "tool": {"list": [1, 2.5, "three"]},
+               "text": "with: colon # and hash"}
+        data, _ = yaml_lite.parse(yaml_lite.dump(doc), "<t>")
+        assert data == doc
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.dictionaries(
+        st.from_regex(r"[A-Za-z][A-Za-z0-9_-]{0,10}", fullmatch=True),
+        st.one_of(
+            st.none(), st.booleans(), st.integers(-10**6, 10**6),
+            st.floats(allow_nan=False, allow_infinity=False,
+                      min_value=-1e6, max_value=1e6),
+            st.text(st.characters(min_codepoint=32, max_codepoint=126),
+                    max_size=12),
+            st.lists(st.integers(-99, 99), max_size=4),
+        ),
+        min_size=1, max_size=6,
+    ))
+    def test_dump_parse_inverse_property(self, doc):
+        try:
+            text = yaml_lite.dump(doc)
+        except ValueError:
+            return  # strings the dumper refuses (both quote kinds)
+        data, _ = yaml_lite.parse(text, "<t>")
+        assert data == doc
